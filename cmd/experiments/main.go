@@ -1,0 +1,145 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation, plus the ablations described in DESIGN.md.
+//
+// Usage:
+//
+//	experiments -figure all
+//	experiments -figure 8 -engine san -seed 7
+//	experiments -figure 10 -csv out/
+//	experiments -figure timeslice|skew|balance|engines
+//
+// Results print as ASCII tables with 95% confidence intervals; -csv also
+// writes one CSV per table into the given directory.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vcpusim/internal/experiments"
+	"vcpusim/internal/report"
+	"vcpusim/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		figure  = fs.String("figure", "all", "which experiment: 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, or all")
+		engine  = fs.String("engine", "fast", `simulation engine: "fast" or "san"`)
+		seed    = fs.Uint64("seed", 1, "experiment seed")
+		horizon = fs.Int64("horizon", 20000, "simulated ticks per replication")
+		minRep  = fs.Int("min-reps", 10, "minimum replications per cell")
+		maxRep  = fs.Int("max-reps", 60, "maximum replications per cell")
+		csvDir  = fs.String("csv", "", "directory to also write per-table CSV files into")
+		chart   = fs.Bool("chart", false, "render results as ASCII bar charts instead of tables")
+		quick   = fs.Bool("quick", false, "quick mode: short horizon and few replications (smoke testing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p := experiments.Defaults()
+	p.Engine = experiments.Engine(*engine)
+	p.Seed = *seed
+	p.Horizon = *horizon
+	p.Sim = sim.Options{MinReps: *minRep, MaxReps: *maxRep}
+	if *quick {
+		p.Horizon = 4000
+		p.Sim = sim.Options{MinReps: 3, MaxReps: 3, RelWidth: 10}
+	}
+
+	ctx := context.Background()
+	type job struct {
+		name string
+		run  func() ([]*report.Table, error)
+	}
+	jobs := []job{
+		{"8", func() ([]*report.Table, error) { return one(experiments.Figure8(ctx, p)) }},
+		{"9", func() ([]*report.Table, error) { return one(experiments.Figure9(ctx, p)) }},
+		{"10", func() ([]*report.Table, error) {
+			eff, abs, err := experiments.Figure10(ctx, p)
+			if err != nil {
+				return nil, err
+			}
+			return []*report.Table{eff, abs}, nil
+		}},
+		{"timeslice", func() ([]*report.Table, error) { return one(experiments.TimesliceSweep(ctx, p, nil)) }},
+		{"skew", func() ([]*report.Table, error) { return one(experiments.SkewSweep(ctx, p, nil)) }},
+		{"balance", func() ([]*report.Table, error) { return one(experiments.BalanceAblation(ctx, p)) }},
+		{"lock", func() ([]*report.Table, error) { return one(experiments.LockAblation(ctx, p)) }},
+		{"hybrid", func() ([]*report.Table, error) { return one(experiments.HybridAblation(ctx, p)) }},
+		{"engines", func() ([]*report.Table, error) { return one(experiments.EngineComparison(ctx, p, 3)) }},
+	}
+
+	want := strings.ToLower(*figure)
+	ran := false
+	for _, j := range jobs {
+		if want != "all" && want != j.name {
+			continue
+		}
+		ran = true
+		tables, err := j.run()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", j.name, err)
+		}
+		for i, t := range tables {
+			if *chart {
+				if err := t.RenderChart(out, 40); err != nil {
+					return err
+				}
+			} else if err := t.Render(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+			if *csvDir != "" {
+				name := fmt.Sprintf("figure_%s", j.name)
+				if len(tables) > 1 {
+					name = fmt.Sprintf("%s_%d", name, i+1)
+				}
+				if err := writeCSV(t, filepath.Join(*csvDir, name+".csv")); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (use 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, or all)", *figure)
+	}
+	return nil
+}
+
+// one adapts a single-table result to the job signature.
+func one(t *report.Table, err error) ([]*report.Table, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+// writeCSV exports one table.
+func writeCSV(t *report.Table, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("create csv dir: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create csv: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

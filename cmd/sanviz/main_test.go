@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run(nil, os.Stderr); err == nil {
+		t.Fatal("missing -config/-vms accepted")
+	}
+}
+
+func TestRunDotFromVMs(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-vms", "2,1", "-pcpus", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "VCPU_Scheduler", "VM1.VCPU2", "Clock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestRunJoins(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-vms", "2,1", "-pcpus", "2", "-joins"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"VM1.Job_Scheduler/Blocked",
+		"VCPU_Scheduler/Schedule_In_1_1",
+		"VM1.Job_Scheduler/Workload",
+		"(extended)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("joins output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFromConfigFile(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "testdata/fig8.json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "VM3.VCPU1") {
+		t.Errorf("config-driven DOT missing VM3:\n%s", b.String())
+	}
+}
+
+func TestRunBadVMsFlag(t *testing.T) {
+	if err := run([]string{"-vms", "2,x"}, os.Stderr); err == nil {
+		t.Fatal("bad -vms accepted")
+	}
+}

@@ -1,0 +1,159 @@
+// Command vcpusim runs one simulation experiment described by a JSON
+// configuration file and prints the measured metrics with confidence
+// intervals.
+//
+// Usage:
+//
+//	vcpusim -config experiment.json
+//	vcpusim -config experiment.json -single -trace trace.jsonl -gantt
+//
+// With -single, exactly one replication runs (point estimates, optional
+// event trace and Gantt rendering); otherwise the configured
+// confidence-interval controlled replications run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"vcpusim/internal/config"
+	"vcpusim/internal/core"
+	"vcpusim/internal/fastsim"
+	"vcpusim/internal/sim"
+	"vcpusim/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vcpusim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vcpusim", flag.ContinueOnError)
+	var (
+		configPath = fs.String("config", "", "path to the JSON experiment configuration (required)")
+		single     = fs.Bool("single", false, "run a single replication instead of CI-controlled replications")
+		tracePath  = fs.String("trace", "", "with -single: write the schedule-event trace as JSONL to this path")
+		gantt      = fs.Bool("gantt", false, "with -single: print a text Gantt chart of PCPU occupancy")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *configPath == "" {
+		return fmt.Errorf("-config is required")
+	}
+
+	f, err := os.Open(*configPath)
+	if err != nil {
+		return err
+	}
+	exp, err := config.Parse(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	cfg, err := exp.SystemConfig()
+	if err != nil {
+		return err
+	}
+	factory, err := exp.SchedulerFactory()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "system: %s\nscheduler: %s, engine: %s, horizon: %d ticks\n\n",
+		cfg, exp.Scheduler.Name, exp.Engine, exp.HorizonTicks)
+
+	if *single {
+		return runSingle(out, cfg, factory, exp, *tracePath, *gantt)
+	}
+	return runReplicated(out, cfg, factory, exp)
+}
+
+// runSingle executes one replication, optionally tracing.
+func runSingle(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFactory, exp *config.Experiment, tracePath string, gantt bool) error {
+	var (
+		metrics map[string]float64
+		rec     *trace.Recorder
+		err     error
+	)
+	switch {
+	case exp.Engine == "san":
+		if tracePath != "" || gantt {
+			return fmt.Errorf("tracing requires the fast engine")
+		}
+		metrics, err = core.RunReplication(cfg, factory, float64(exp.HorizonTicks), exp.Seed)
+	default:
+		eng, buildErr := fastsim.New(cfg, factory(), exp.Seed)
+		if buildErr != nil {
+			return buildErr
+		}
+		if tracePath != "" || gantt {
+			rec = &trace.Recorder{}
+			eng.SetTracer(rec)
+		}
+		metrics, err = eng.Run(exp.HorizonTicks)
+	}
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(metrics))
+	for n := range metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(out, "%-24s %.4f\n", n, metrics[n])
+	}
+
+	if rec != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteJSONL(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ntrace: %d events written to %s\n", rec.Len(), tracePath)
+	}
+	if rec != nil && gantt {
+		fmt.Fprintf(out, "\nPCPU occupancy (1 char = %d ticks):\n%s", max64(1, exp.HorizonTicks/100),
+			rec.GanttN(cfg.PCPUs, exp.HorizonTicks, max64(1, exp.HorizonTicks/100), 100))
+	}
+	return nil
+}
+
+// runReplicated executes CI-controlled replications.
+func runReplicated(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFactory, exp *config.Experiment) error {
+	rep := func(_ int, seed uint64) (map[string]float64, error) {
+		if exp.Engine == "san" {
+			return core.RunReplication(cfg, factory, float64(exp.HorizonTicks), seed)
+		}
+		return fastsim.RunReplication(cfg, factory, exp.HorizonTicks, seed)
+	}
+	sum, err := sim.Run(context.Background(), rep, exp.SimOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replications: %d (converged: %v, %.0f%% confidence)\n\n",
+		sum.Replications, sum.Converged, sum.Level*100)
+	for _, n := range sum.MetricNames() {
+		fmt.Fprintf(out, "%-24s %v\n", n, sum.Metrics[n])
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

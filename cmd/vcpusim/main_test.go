@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresConfig(t *testing.T) {
+	if err := run(nil, os.Stderr); err == nil {
+		t.Fatal("missing -config accepted")
+	}
+}
+
+func TestRunUnknownConfigPath(t *testing.T) {
+	if err := run([]string{"-config", "does/not/exist.json"}, os.Stderr); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunReplicatedOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-config", "testdata/fig8.json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"scheduler: RCS", "replications:", "avail/vm0/vcpu0", "putil/avg", "95% confidence",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSingleWithGanttAndTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	var b strings.Builder
+	args := []string{"-config", "testdata/fig8.json", "-single", "-gantt", "-trace", tracePath}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"PCPU occupancy", "trace:", "avail/avg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "schedule_in") {
+		t.Error("trace file has no schedule_in events")
+	}
+}
+
+func TestRunSingleSANEngineRejectsTracing(t *testing.T) {
+	// Build a SAN-engine config on the fly.
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "san.json")
+	data, err := os.ReadFile("testdata/fig8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(data), `"seed": 7,`, `"seed": 7, "engine": "san",`, 1)
+	if err := os.WriteFile(cfgPath, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-config", cfgPath, "-single", "-gantt"}, &b); err == nil {
+		t.Fatal("SAN engine with tracing accepted")
+	}
+	// Without tracing the SAN engine works.
+	b.Reset()
+	if err := run([]string{"-config", cfgPath, "-single"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "avail/avg") {
+		t.Errorf("SAN single run output:\n%s", b.String())
+	}
+}

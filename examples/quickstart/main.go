@@ -1,0 +1,50 @@
+// Quickstart: assemble a virtualization system — two VMs sharing four
+// physical cores — plug in the Round-Robin VCPU scheduler, simulate 20 000
+// clock ticks, and print the paper's three metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcpusim"
+)
+
+func main() {
+	cfg := vcpusim.SystemConfig{
+		PCPUs:     4,
+		Timeslice: 30,
+		VMs: []vcpusim.VMConfig{
+			// A 2-VCPU web VM: short request-handling bursts, a barrier
+			// synchronization point every five workloads (1:5).
+			{Name: "web", VCPUs: 2, Workload: vcpusim.WorkloadSpec{
+				Load:       vcpusim.Uniform{Low: 1, High: 10},
+				SyncEveryN: 5,
+			}},
+			// A 3-VCPU batch VM: longer jobs, rare synchronization.
+			{Name: "batch", VCPUs: 3, Workload: vcpusim.WorkloadSpec{
+				Load:       vcpusim.Exponential{Rate: 1.0 / 15},
+				SyncEveryN: 20,
+			}},
+		},
+	}
+
+	metrics, err := vcpusim.Run(cfg, vcpusim.RoundRobin(cfg.Timeslice), 20000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Round-Robin scheduling,", cfg.String())
+	fmt.Println()
+	for vm, name := range []string{"web", "batch"} {
+		n := 2 + vm // web has 2 VCPUs, batch has 3
+		for s := 0; s < n; s++ {
+			fmt.Printf("%s VCPU%d: availability %.1f%%, utilization %.1f%%\n",
+				name, s+1,
+				100*metrics[vcpusim.AvailabilityMetric(vm, s)],
+				100*metrics[vcpusim.VCPUUtilizationMetric(vm, s)])
+		}
+	}
+	fmt.Printf("\naverage PCPU utilization: %.1f%%\n", 100*metrics[vcpusim.PCPUUtilizationAvgMetric])
+	fmt.Printf("fraction of time barrier-blocked: %.1f%%\n", 100*metrics[vcpusim.BlockedFractionMetric])
+}

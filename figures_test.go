@@ -1,0 +1,253 @@
+package vcpusim_test
+
+// Integration tests: every table and figure of the paper's evaluation is
+// regenerated (at reduced replication budget) and its qualitative shape —
+// who wins, by roughly what factor, where the crossovers fall — is
+// asserted against the paper's claims. EXPERIMENTS.md records the
+// full-budget numbers.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"vcpusim"
+	"vcpusim/internal/experiments"
+	"vcpusim/internal/sim"
+)
+
+// testParams returns a reduced-budget parameterization that is still ample
+// for the orderings asserted here.
+func testParams() experiments.Params {
+	p := experiments.Defaults()
+	p.Horizon = 8000
+	p.Sim = sim.Options{MinReps: 5, MaxReps: 10, RelWidth: 0.15}
+	return p
+}
+
+// cell extracts a mean from a table or fails the test.
+func cell(t *testing.T, tbl *vcpusim.Table, row, col string) float64 {
+	t.Helper()
+	iv, ok := tbl.Get(row, col)
+	if !ok {
+		t.Fatalf("table cell (%q, %q) missing", row, col)
+	}
+	return iv.Mean
+}
+
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration in -short mode")
+	}
+	tbl, err := experiments.Figure8(context.Background(), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcpus := []string{"VCPU1.1", "VCPU1.2", "VCPU2.1", "VCPU3.1"}
+	get := func(algo string, pcpus int, col string) float64 {
+		return cell(t, tbl, fmt.Sprintf("%s %dPCPU", algo, pcpus), col)
+	}
+
+	// RRS achieves scheduling fairness regardless of the resource: all
+	// four VCPUs within a small band at every PCPU count.
+	for pcpus := 1; pcpus <= 4; pcpus++ {
+		min, max := 2.0, -1.0
+		for _, v := range vcpus {
+			a := get("RRS", pcpus, v)
+			if a < min {
+				min = a
+			}
+			if a > max {
+				max = a
+			}
+		}
+		if max-min > 0.05 {
+			t.Errorf("RRS unfair at %d PCPUs: spread %.3f", pcpus, max-min)
+		}
+		// And availability scales with the resource: ~pcpus/4.
+		want := float64(pcpus) / 4
+		if min < want-0.05 || max > want+0.05 {
+			t.Errorf("RRS availability at %d PCPUs in [%.3f, %.3f], want ~%.2f", pcpus, min, max, want)
+		}
+	}
+
+	// SCS at 1 PCPU cannot schedule the 2-VCPU VM at all; the 1-VCPU VMs
+	// split the core.
+	if a := get("SCS", 1, "VCPU1.1"); a != 0 {
+		t.Errorf("SCS 1 PCPU: 2-VCPU VM availability = %.3f, want 0", a)
+	}
+	if a := get("SCS", 1, "VCPU2.1"); a < 0.4 || a > 0.6 {
+		t.Errorf("SCS 1 PCPU: single-VCPU VM availability = %.3f, want ~0.5", a)
+	}
+
+	// RCS at 1 PCPU schedules the 2-VCPU VM (unlike SCS) but gives it
+	// less than the 1-VCPU VMs (the skew-threshold constraint).
+	pair := (get("RCS", 1, "VCPU1.1") + get("RCS", 1, "VCPU1.2")) / 2
+	singles := (get("RCS", 1, "VCPU2.1") + get("RCS", 1, "VCPU3.1")) / 2
+	if pair <= 0.01 {
+		t.Errorf("RCS 1 PCPU: 2-VCPU VM starved (%.3f)", pair)
+	}
+	if pair >= singles*0.85 {
+		t.Errorf("RCS 1 PCPU: pair %.3f not clearly below singles %.3f", pair, singles)
+	}
+
+	// Both co-schedulers reach balanced scheduling at 4 PCPUs.
+	for _, algo := range []string{"SCS", "RCS"} {
+		for _, v := range vcpus {
+			if a := get(algo, 4, v); a < 0.99 {
+				t.Errorf("%s 4 PCPUs: %s availability = %.3f, want ~1", algo, v, a)
+			}
+		}
+	}
+
+	// Co-scheduler fairness improves as PCPUs grow: spread shrinks from
+	// 1 to 4 PCPUs.
+	spread := func(algo string, pcpus int) float64 {
+		min, max := 2.0, -1.0
+		for _, v := range vcpus {
+			a := get(algo, pcpus, v)
+			if a < min {
+				min = a
+			}
+			if a > max {
+				max = a
+			}
+		}
+		return max - min
+	}
+	for _, algo := range []string{"SCS", "RCS"} {
+		if spread(algo, 4) >= spread(algo, 1) {
+			t.Errorf("%s fairness did not improve with PCPUs: spread(1)=%.3f spread(4)=%.3f",
+				algo, spread(algo, 1), spread(algo, 4))
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration in -short mode")
+	}
+	tbl, err := experiments.Figure9(context.Background(), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := map[experiments.VMSet]string{
+		experiments.Set1: experiments.Set1.String(),
+		experiments.Set2: experiments.Set2.String(),
+		experiments.Set3: experiments.Set3.String(),
+	}
+
+	// RRS fully utilizes the PCPUs in every set.
+	for _, row := range sets {
+		if u := cell(t, tbl, row, "RRS"); u < 0.99 {
+			t.Errorf("RRS PCPU utilization at %s = %.3f, want ~1", row, u)
+		}
+	}
+	// Set 1 (VCPUs == PCPUs): everyone at full utilization.
+	for _, algo := range []string{"RRS", "SCS", "RCS"} {
+		if u := cell(t, tbl, sets[experiments.Set1], algo); u < 0.99 {
+			t.Errorf("%s PCPU utilization at set1 = %.3f, want ~1", algo, u)
+		}
+	}
+	// SCS fragmentation: ~62.5% at set2 (2+3 alternating on 4) and ~75%
+	// at set3 (2+4 alternating).
+	if u := cell(t, tbl, sets[experiments.Set2], "SCS"); u < 0.57 || u > 0.68 {
+		t.Errorf("SCS PCPU utilization at set2 = %.3f, want ~0.625", u)
+	}
+	if u := cell(t, tbl, sets[experiments.Set3], "SCS"); u < 0.70 || u > 0.80 {
+		t.Errorf("SCS PCPU utilization at set3 = %.3f, want ~0.75", u)
+	}
+	// RCS mitigates fragmentation: ~90%+ and always above SCS.
+	for _, set := range []experiments.VMSet{experiments.Set2, experiments.Set3} {
+		rcs := cell(t, tbl, sets[set], "RCS")
+		scs := cell(t, tbl, sets[set], "SCS")
+		if rcs < 0.85 {
+			t.Errorf("RCS PCPU utilization at %s = %.3f, want >= ~0.9", sets[set], rcs)
+		}
+		if rcs <= scs {
+			t.Errorf("RCS (%.3f) not above SCS (%.3f) at %s", rcs, scs, sets[set])
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration in -short mode")
+	}
+	eff, abs, err := experiments.Figure10(context.Background(), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(set experiments.VMSet, sync int) string {
+		return fmt.Sprintf("%s sync 1:%d", set, sync)
+	}
+
+	// Set 1 (VCPUs == PCPUs): no difference among the algorithms, in
+	// either normalization.
+	for _, sync := range []int{5, 2} {
+		r := row(experiments.Set1, sync)
+		rrs := cell(t, eff, r, "RRS")
+		for _, algo := range []string{"SCS", "RCS"} {
+			if d := cell(t, eff, r, algo) - rrs; d > 0.02 || d < -0.02 {
+				t.Errorf("set1 sync 1:%d: %s differs from RRS by %.3f", sync, algo, d)
+			}
+		}
+	}
+
+	// Overcommitted sets at moderate sync rates: SCS achieves the highest
+	// utilization of scheduled time, RCS slightly below, RRS lowest.
+	for _, set := range []experiments.VMSet{experiments.Set2, experiments.Set3} {
+		for _, sync := range []int{5, 4, 3} {
+			r := row(set, sync)
+			scs := cell(t, eff, r, "SCS")
+			rcs := cell(t, eff, r, "RCS")
+			rrs := cell(t, eff, r, "RRS")
+			if !(scs > rcs && rcs > rrs) {
+				t.Errorf("%s: ordering SCS(%.3f) > RCS(%.3f) > RRS(%.3f) violated", r, scs, rcs, rrs)
+			}
+		}
+	}
+
+	// RRS degrades as the synchronization rate rises from 1:5 to 1:2.
+	for _, set := range []experiments.VMSet{experiments.Set2, experiments.Set3} {
+		lo := cell(t, eff, row(set, 2), "RRS")
+		hi := cell(t, eff, row(set, 5), "RRS")
+		if lo >= hi-0.02 {
+			t.Errorf("%s: RRS did not degrade with sync rate: 1:5=%.3f 1:2=%.3f", set, hi, lo)
+		}
+	}
+
+	// Companion table sanity: the absolute normalization is bounded by
+	// the efficiency one (availability <= 1).
+	for _, set := range []experiments.VMSet{experiments.Set1, experiments.Set2, experiments.Set3} {
+		for _, sync := range []int{5, 4, 3, 2} {
+			r := row(set, sync)
+			for _, algo := range []string{"RRS", "SCS", "RCS"} {
+				if a, e := cell(t, abs, r, algo), cell(t, eff, r, algo); a > e+1e-9 {
+					t.Errorf("%s/%s: absolute %.3f exceeds efficiency %.3f", r, algo, a, e)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineComparisonTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration in -short mode")
+	}
+	p := testParams()
+	p.Horizon = 2000
+	tbl, err := experiments.EngineComparison(context.Background(), p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"RRS", "SCS", "RCS"} {
+		iv, ok := tbl.Get(algo, "max |SAN - fast|")
+		if !ok {
+			t.Fatalf("missing cell for %s", algo)
+		}
+		if iv.Mean > 1e-9 {
+			t.Errorf("%s: engines disagree by %g", algo, iv.Mean)
+		}
+	}
+}

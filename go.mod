@@ -1,0 +1,3 @@
+module vcpusim
+
+go 1.22

@@ -1,0 +1,601 @@
+package core
+
+import (
+	"fmt"
+
+	"vcpusim/internal/rng"
+	"vcpusim/internal/san"
+	"vcpusim/internal/workload"
+)
+
+// Instantaneous-activity priorities fix the within-tick ordering of the
+// model (lower fires first): job processing, then the VM-side job flow,
+// then the hypervisor's scheduling function, then the Schedule_Out /
+// Schedule_In notifications — after which the job flow may fire again for
+// freshly scheduled VCPUs.
+const (
+	prioProcess  = 10
+	prioUnblock  = 20
+	prioGenerate = 30
+	prioDispatch = 40
+	prioSchedFn  = 50
+	prioSchedOut = 55
+	prioSchedIn  = 56
+)
+
+// Slot is the value of a VCPU_slot extended place (paper §III.B.2): the
+// interface between a VM's job scheduler and one of its VCPUs.
+type Slot struct {
+	// RemainingLoad is the remaining time to complete the current load.
+	RemainingLoad int64
+	// SyncPoint marks the current workload as a synchronization point.
+	SyncPoint bool
+	// Status is the VCPU status.
+	Status Status
+}
+
+// hostState is the VCPU-scheduler-side state of one VCPU place (paper
+// §III.B.5): timeslice, last schedule-in timestamp, and bookkeeping.
+type hostState struct {
+	Timeslice int64
+	LastIn    int64
+	Runtime   int64
+	PCPU      int // assigned PCPU or -1
+}
+
+// pendingWorkload is the value of a VM's Workload place: at most one
+// generated-but-undispatched workload.
+type pendingWorkload struct {
+	Present bool
+	Load    int64
+	Sync    bool
+}
+
+// vcpuRef bundles the places belonging to one VCPU across sub-models.
+type vcpuRef struct {
+	id       int // global VCPU index
+	vm       int
+	sibling  int
+	slot     *san.ExtPlace[Slot]
+	host     *san.ExtPlace[hostState]
+	tick     *san.Place
+	schedIn  *san.Place
+	schedOut *san.Place
+}
+
+// vmRef bundles the places belonging to one VM.
+type vmRef struct {
+	index    int
+	syncKind workload.SyncKind
+	blocked  *san.Place
+	numReady *san.Place
+	pending  *san.ExtPlace[pendingWorkload]
+	gen      *workload.Generator
+	vcpus    []*vcpuRef
+}
+
+// hasInFlightSync reports whether a sync-point workload is currently being
+// processed (or held by a descheduled VCPU) in the VM.
+func (vm *vmRef) hasInFlightSync() bool {
+	for _, vc := range vm.vcpus {
+		s := vc.slot.Get()
+		if s.SyncPoint && s.RemainingLoad > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// lockHolderPreempted reports whether the VM's in-flight spinlock holder is
+// descheduled — the lock-holder-preemption scenario of the paper's §II.B:
+// the hypervisor, unaware of the guest critical section (the semantic gap),
+// preempted the VCPU mid-lock, so sibling VCPUs spin.
+func (vm *vmRef) lockHolderPreempted() bool {
+	for _, vc := range vm.vcpus {
+		s := vc.slot.Get()
+		if s.SyncPoint && s.RemainingLoad > 0 && s.Status == Inactive {
+			return true
+		}
+	}
+	return false
+}
+
+// spinning reports whether VCPU vc is currently burning PCPU time on a
+// spinlock without making progress.
+func (vm *vmRef) spinning(vc *vcpuRef) bool {
+	if vm.syncKind != workload.SyncSpinlock {
+		return false
+	}
+	s := vc.slot.Get()
+	if s.Status != Busy {
+		return false
+	}
+	if s.SyncPoint && s.RemainingLoad > 0 {
+		return false // the holder itself always progresses while scheduled
+	}
+	return vm.lockHolderPreempted()
+}
+
+// System is a fully composed virtualization-system model, ready to simulate
+// for one replication. Systems are single-use: build a fresh one per
+// replication (construction is cheap), because the plugged-in Scheduler and
+// the workload generators carry state across ticks.
+type System struct {
+	cfg   SystemConfig
+	model *san.Model
+	sched Scheduler
+	vms   []*vmRef
+	vcpus []*vcpuRef
+	pcpus *san.ExtPlace[[]int]
+	clock *san.Activity
+}
+
+// Model returns the composed SAN model.
+func (s *System) Model() *san.Model { return s.model }
+
+// Config returns the system configuration.
+func (s *System) Config() SystemConfig { return s.cfg }
+
+// Scheduler returns the plugged-in scheduling algorithm.
+func (s *System) Scheduler() Scheduler { return s.sched }
+
+// BuildSystem composes the full virtualization-system model (the paper's
+// Figure 7 structure): one VCPU-scheduler sub-model plus one VM composed
+// model per VMConfig, each consisting of a workload generator, a job
+// scheduler, and VCPU sub-models, all wired through the join places of the
+// paper's Tables 1 and 2. src seeds the workload generators; the plugged-in
+// sched is invoked every clock tick.
+func BuildSystem(cfg SystemConfig, sched Scheduler, src *rng.Source) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("core: nil scheduler")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil random source")
+	}
+
+	model := san.NewModel("Virtual_System")
+	sys := &System{cfg: cfg, model: model, sched: sched}
+
+	// --- VCPU Scheduler sub-model (paper Figure 6) ---
+	hv := model.Sub("VCPU_Scheduler")
+	numPCPUs := hv.Place("Num_PCPUs", cfg.PCPUs)
+	_ = numPCPUs                     // configuration place; read by structural tests and DOT
+	hvTick := hv.Place("HV_Tick", 1) // initial token runs the scheduler at t=0
+	sys.pcpus = san.NewExtPlace(hv, "PCPUs", func() []int {
+		pc := make([]int, cfg.PCPUs)
+		for i := range pc {
+			pc[i] = -1
+		}
+		return pc
+	})
+	timestamp := san.NewExtPlace(hv, "Timestamp", func() int64 { return 0 })
+
+	// --- VM composed models (paper Figure 2) ---
+	for i, vmCfg := range cfg.VMs {
+		vm, err := buildVM(sys, hv, i, vmCfg, src)
+		if err != nil {
+			return nil, err
+		}
+		sys.vms = append(sys.vms, vm)
+		sys.vcpus = append(sys.vcpus, vm.vcpus...)
+	}
+
+	// --- Clock: fires every time unit, driving processing and the
+	// scheduling function (paper §III.B.5) ---
+	clock := hv.TimedActivity("Clock", rng.Deterministic{Value: 1})
+	clock.Link(san.LinkOutput, hvTick.Name())
+	clock.AddCase(nil, func() {
+		for _, v := range sys.vcpus {
+			v.tick.Add(1)
+		}
+		hvTick.Add(1)
+	})
+	sys.clock = clock
+
+	// --- Scheduling_Func: timeslice accounting + the plugged-in
+	// scheduling function, once per tick ---
+	fn := hv.InstantActivity("Scheduling_Func").Priority(prioSchedFn)
+	fn.InputArc(hvTick, 1)
+	fn.Link(san.LinkInput, sys.pcpus.Name())
+	fn.AddCase(nil, func() { sys.schedulerStep(timestamp) })
+
+	if err := model.Err(); err != nil {
+		return nil, fmt.Errorf("core: building system: %w", err)
+	}
+	registerRewards(sys)
+	return sys, nil
+}
+
+// buildVM composes one VM: workload generator, job scheduler, and VCPU
+// sub-models (paper Figures 2-5), plus its joins into the VCPU scheduler
+// (paper Table 2).
+func buildVM(sys *System, hv *san.Sub, index int, cfg VMConfig, src *rng.Source) (*vmRef, error) {
+	model := sys.model
+	name := sys.cfg.VMName(index)
+
+	js := model.Sub(name + ".Job_Scheduler")
+	wg := model.Sub(name + ".Workload_Generator")
+
+	vm := &vmRef{index: index, syncKind: cfg.Workload.SyncKind}
+	// Join places of Table 1. Created once, shared into every sub-model
+	// that the paper lists as holding a copy.
+	vm.blocked = js.Place("Blocked", 0)
+	vm.numReady = js.Place("Num_VCPUs_ready", 0)
+	vm.pending = san.NewExtPlace(js, "Workload", func() pendingWorkload { return pendingWorkload{} })
+	wg.Share(vm.blocked)
+	wg.Share(vm.numReady)
+	san.ShareExt(wg, vm.pending)
+
+	gen, err := workload.NewGenerator(cfg.Workload, src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("core: VM %s: %w", name, err)
+	}
+	vm.gen = gen
+
+	// VCPU sub-models.
+	for k := 0; k < cfg.VCPUs; k++ {
+		vc := &vcpuRef{id: len(sys.vcpus) + len(vm.vcpus), vm: index, sibling: k}
+		sub := model.Sub(fmt.Sprintf("%s.VCPU%d", name, k+1))
+
+		vc.slot = san.NewExtPlace(js, fmt.Sprintf("VCPU%d_slot", k+1), func() Slot {
+			return Slot{Status: Inactive}
+		})
+		san.ShareExt(sub, vc.slot)
+		sub.Share(vm.blocked)
+		sub.Share(vm.numReady)
+
+		// Join places of Table 2: Schedule_In/Out shared between the
+		// VCPU sub-model and the VCPU scheduler.
+		vc.schedIn = hv.Place(fmt.Sprintf("Schedule_In_%d_%d", index+1, k+1), 0)
+		vc.schedOut = hv.Place(fmt.Sprintf("Schedule_Out_%d_%d", index+1, k+1), 0)
+		sub.Share(vc.schedIn)
+		sub.Share(vc.schedOut)
+		vc.host = san.NewExtPlace(hv, fmt.Sprintf("VCPU_%d_%d", index+1, k+1), func() hostState {
+			return hostState{PCPU: -1, LastIn: -1}
+		})
+		vc.tick = sub.Place("Tick", 0)
+
+		buildVCPUActivities(sys, sub, vm, vc)
+		vm.vcpus = append(vm.vcpus, vc)
+	}
+
+	buildJobFlow(sys, wg, js, vm)
+	return vm, nil
+}
+
+// buildVCPUActivities wires one VCPU sub-model (paper Figure 4): per-tick
+// load processing and the Schedule_In / Schedule_Out notifications.
+func buildVCPUActivities(sys *System, sub *san.Sub, vm *vmRef, vc *vcpuRef) {
+	// Processing_load: each time unit a BUSY VCPU reduces remaining_load
+	// by one; at zero the VCPU turns READY and Num_VCPUs_ready grows.
+	proc := sub.InstantActivity("Processing_load").Priority(prioProcess)
+	proc.InputArc(vc.tick, 1)
+	proc.Link(san.LinkInput, vc.slot.Name())
+	proc.Link(san.LinkOutput, vm.numReady.Name())
+	proc.AddCase(nil, func() {
+		s := vc.slot.Get()
+		if s.Status != Busy {
+			return
+		}
+		if vm.spinning(vc) {
+			// Spinlock extension: a sibling holds the VM's lock but was
+			// descheduled, so this VCPU burns the tick without progress.
+			return
+		}
+		s.RemainingLoad--
+		if s.RemainingLoad <= 0 {
+			s.RemainingLoad = 0
+			s.SyncPoint = false
+			s.Status = Ready
+			vm.numReady.Add(1)
+		}
+	})
+
+	// Schedule_Out: the hypervisor revoked the PCPU; the VCPU turns
+	// INACTIVE, possibly mid-load and possibly holding a sync point.
+	out := sub.InstantActivity("Schedule_Out_evt").Priority(prioSchedOut)
+	out.InputArc(vc.schedOut, 1)
+	out.Link(san.LinkOutput, vc.slot.Name())
+	out.AddCase(nil, func() {
+		s := vc.slot.Get()
+		if s.Status == Ready {
+			vm.numReady.Add(-1)
+		}
+		s.Status = Inactive
+	})
+
+	// Schedule_In: the hypervisor granted a PCPU; the VCPU resumes its
+	// load (BUSY) or idles (READY).
+	in := sub.InstantActivity("Schedule_In_evt").Priority(prioSchedIn)
+	in.InputArc(vc.schedIn, 1)
+	in.Link(san.LinkOutput, vc.slot.Name())
+	in.AddCase(nil, func() {
+		s := vc.slot.Get()
+		if s.RemainingLoad > 0 {
+			s.Status = Busy
+		} else {
+			s.Status = Ready
+			vm.numReady.Add(1)
+		}
+	})
+}
+
+// buildJobFlow wires a VM's workload generator (paper Figure 5) and job
+// scheduler (paper Figure 3).
+func buildJobFlow(sys *System, wg, js *san.Sub, vm *vmRef) {
+	// Generate: emits a workload when the VM is not blocked and at least
+	// one VCPU is READY (paper §III.B.3).
+	gen := wg.InstantActivity("Generate").Priority(prioGenerate)
+	gen.Link(san.LinkInput, vm.blocked.Name())
+	gen.Link(san.LinkInput, vm.numReady.Name())
+	gen.Link(san.LinkOutput, vm.pending.Name())
+	gen.Predicate(func() bool {
+		return vm.blocked.Tokens() == 0 && vm.numReady.Tokens() > 0 && !vm.pending.Get().Present
+	})
+	gen.AddCase(nil, func() { // the paper's WL_Output gate
+		w := vm.gen.Next()
+		*vm.pending.Get() = pendingWorkload{Present: true, Load: w.Load, Sync: w.Sync}
+	})
+
+	// Scheduling: dispatches the pending workload to a READY VCPU; a
+	// sync-point workload raises the Blocked barrier until all preceding
+	// jobs complete (paper §III.B.1).
+	disp := js.InstantActivity("Scheduling").Priority(prioDispatch)
+	disp.Link(san.LinkInput, vm.pending.Name())
+	disp.Link(san.LinkInput, vm.numReady.Name())
+	disp.Predicate(func() bool {
+		w := vm.pending.Get()
+		if !w.Present || vm.numReady.Tokens() == 0 {
+			return false
+		}
+		if vm.syncKind == workload.SyncSpinlock && w.Sync && vm.hasInFlightSync() {
+			// Spinlock extension: the VM-wide lock is taken; the next
+			// lock acquisition waits until the in-flight holder releases.
+			return false
+		}
+		return true
+	})
+	disp.AddCase(nil, func() {
+		w := vm.pending.Get()
+		for _, vc := range vm.vcpus {
+			s := vc.slot.Get()
+			if s.Status != Ready {
+				continue
+			}
+			s.RemainingLoad = w.Load
+			s.SyncPoint = w.Sync
+			s.Status = Busy
+			vm.numReady.Add(-1)
+			break
+		}
+		if w.Sync && vm.syncKind == workload.SyncBarrier {
+			vm.blocked.SetTokens(1)
+		}
+		*w = pendingWorkload{}
+	})
+	for _, vc := range vm.vcpus {
+		disp.Link(san.LinkOutput, vc.slot.Name())
+	}
+
+	// Unblock: the barrier clears once every VCPU of the VM has finished
+	// its outstanding load.
+	unb := js.InstantActivity("Unblock").Priority(prioUnblock)
+	unb.Link(san.LinkInput, vm.blocked.Name())
+	unb.Predicate(func() bool {
+		if vm.blocked.Tokens() == 0 {
+			return false
+		}
+		for _, vc := range vm.vcpus {
+			if vc.slot.Get().RemainingLoad > 0 {
+				return false
+			}
+		}
+		return true
+	})
+	unb.AddCase(nil, func() { vm.blocked.SetTokens(0) })
+
+	model := js.Model()
+	model.AddImpulseReward(JobsMetric(vm.index), disp, nil)
+	model.AddImpulseReward(UnblocksMetric(vm.index), unb, nil)
+}
+
+// schedulerStep runs one hypervisor tick: charge runtime, expire
+// timeslices, then invoke the plugged-in scheduling function and apply its
+// decisions (the paper's Scheduling_Func output gate calling the user's C
+// function through the standard interface).
+func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
+	now := *timestamp.Get()
+	pc := sys.pcpus.Get()
+	n := len(sys.vcpus)
+
+	pendingOut := make([]bool, n)
+	if now > 0 { // no time has elapsed before the very first tick
+		for _, vc := range sys.vcpus {
+			h := vc.host.Get()
+			if h.PCPU < 0 {
+				continue
+			}
+			h.Runtime++
+			h.Timeslice--
+			if h.Timeslice <= 0 {
+				(*pc)[h.PCPU] = -1
+				h.PCPU = -1
+				vc.schedOut.Add(1)
+				pendingOut[vc.id] = true
+			}
+		}
+	}
+
+	views := make([]VCPUView, n)
+	for _, vc := range sys.vcpus {
+		s := vc.slot.Get()
+		h := vc.host.Get()
+		status := s.Status
+		if pendingOut[vc.id] {
+			status = Inactive
+		}
+		views[vc.id] = VCPUView{
+			ID:              vc.id,
+			VM:              vc.vm,
+			Sibling:         vc.sibling,
+			Status:          status,
+			RemainingLoad:   s.RemainingLoad,
+			SyncPoint:       s.SyncPoint,
+			PCPU:            h.PCPU,
+			Timeslice:       h.Timeslice,
+			LastScheduledIn: h.LastIn,
+			Runtime:         h.Runtime,
+		}
+	}
+	pviews := make([]PCPUView, len(*pc))
+	for i, v := range *pc {
+		pviews[i] = PCPUView{ID: i, VCPU: v}
+	}
+
+	var acts Actions
+	sys.sched.Schedule(now, views, pviews, &acts)
+	sys.applyActions(now, &acts)
+
+	*timestamp.Get() = now + 1
+}
+
+// applyActions validates and applies the scheduling function's decisions:
+// preemptions first, then assignments.
+func (sys *System) applyActions(now int64, acts *Actions) {
+	pc := sys.pcpus.Get()
+	for _, v := range acts.preempts {
+		if v < 0 || v >= len(sys.vcpus) {
+			sys.model.ReportError(fmt.Errorf("core: scheduler %q preempted unknown VCPU %d", sys.sched.Name(), v))
+			continue
+		}
+		h := sys.vcpus[v].host.Get()
+		if h.PCPU < 0 {
+			sys.model.ReportError(fmt.Errorf("core: scheduler %q preempted inactive VCPU %d", sys.sched.Name(), v))
+			continue
+		}
+		(*pc)[h.PCPU] = -1
+		h.PCPU = -1
+		h.Timeslice = 0
+		sys.vcpus[v].schedOut.Add(1)
+	}
+	for _, a := range acts.assigns {
+		switch {
+		case a.VCPU < 0 || a.VCPU >= len(sys.vcpus):
+			sys.model.ReportError(fmt.Errorf("core: scheduler %q assigned unknown VCPU %d", sys.sched.Name(), a.VCPU))
+			continue
+		case a.PCPU < 0 || a.PCPU >= len(*pc):
+			sys.model.ReportError(fmt.Errorf("core: scheduler %q assigned unknown PCPU %d", sys.sched.Name(), a.PCPU))
+			continue
+		case a.Timeslice < 1:
+			sys.model.ReportError(fmt.Errorf("core: scheduler %q assigned non-positive timeslice %d", sys.sched.Name(), a.Timeslice))
+			continue
+		}
+		h := sys.vcpus[a.VCPU].host.Get()
+		if h.PCPU >= 0 {
+			sys.model.ReportError(fmt.Errorf("core: scheduler %q double-assigned VCPU %d", sys.sched.Name(), a.VCPU))
+			continue
+		}
+		if (*pc)[a.PCPU] >= 0 {
+			sys.model.ReportError(fmt.Errorf("core: scheduler %q assigned busy PCPU %d", sys.sched.Name(), a.PCPU))
+			continue
+		}
+		(*pc)[a.PCPU] = a.VCPU
+		h.PCPU = a.PCPU
+		h.Timeslice = a.Timeslice
+		h.LastIn = now
+		sys.vcpus[a.VCPU].schedIn.Add(1)
+	}
+}
+
+// registerRewards defines the paper's reward variables on the model:
+// per-VCPU availability (ACTIVE time), per-VCPU utilization (BUSY time),
+// per-PCPU utilization (ASSIGNED time), their averages, and job-dispatch
+// impulse counters.
+func registerRewards(sys *System) {
+	m := sys.model
+	for _, vc := range sys.vcpus {
+		vc := vc
+		m.AddRateReward(AvailabilityMetric(vc.vm, vc.sibling), func() float64 {
+			if vc.slot.Get().Status.Active() {
+				return 1
+			}
+			return 0
+		})
+		m.AddRateReward(VCPUUtilizationMetric(vc.vm, vc.sibling), func() float64 {
+			if vc.slot.Get().Status == Busy {
+				return 1
+			}
+			return 0
+		})
+	}
+	for p := 0; p < sys.cfg.PCPUs; p++ {
+		p := p
+		m.AddRateReward(PCPUUtilizationMetric(p), func() float64 {
+			if (*sys.pcpus.Get())[p] >= 0 {
+				return 1
+			}
+			return 0
+		})
+	}
+	m.AddRateReward(AvailabilityAvgMetric, func() float64 {
+		active := 0
+		for _, vc := range sys.vcpus {
+			if vc.slot.Get().Status.Active() {
+				active++
+			}
+		}
+		return float64(active) / float64(len(sys.vcpus))
+	})
+	m.AddRateReward(VCPUUtilizationAvgMetric, func() float64 {
+		busy := 0
+		for _, vc := range sys.vcpus {
+			if vc.slot.Get().Status == Busy {
+				busy++
+			}
+		}
+		return float64(busy) / float64(len(sys.vcpus))
+	})
+	m.AddRateReward(PCPUUtilizationAvgMetric, func() float64 {
+		used := 0
+		for _, v := range *sys.pcpus.Get() {
+			if v >= 0 {
+				used++
+			}
+		}
+		return float64(used) / float64(sys.cfg.PCPUs)
+	})
+	m.AddRateReward(BlockedFractionMetric, func() float64 {
+		blocked := 0
+		for _, vm := range sys.vms {
+			if vm.blocked.Tokens() > 0 {
+				blocked++
+			}
+		}
+		return float64(blocked) / float64(len(sys.vms))
+	})
+	m.AddRateReward(SpinFractionMetric, func() float64 {
+		spinning := 0
+		for _, vm := range sys.vms {
+			for _, vc := range vm.vcpus {
+				if vm.spinning(vc) {
+					spinning++
+				}
+			}
+		}
+		return float64(spinning) / float64(len(sys.vcpus))
+	})
+	m.AddRateReward(EffectiveUtilizationMetric, func() float64 {
+		working := 0
+		for _, vm := range sys.vms {
+			for _, vc := range vm.vcpus {
+				if vc.slot.Get().Status == Busy && !vm.spinning(vc) {
+					working++
+				}
+			}
+		}
+		return float64(working) / float64(len(sys.vcpus))
+	})
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vcpusim/internal/rng"
+	"vcpusim/internal/workload"
+)
+
+func wl() workload.Spec {
+	return workload.Spec{Load: rng.Uniform{Low: 1, High: 10}, SyncEveryN: 5}
+}
+
+func validConfig() SystemConfig {
+	return SystemConfig{
+		PCPUs:     2,
+		Timeslice: 30,
+		VMs: []VMConfig{
+			{Name: "a", VCPUs: 2, Workload: wl()},
+			{Name: "b", VCPUs: 1, Workload: wl()},
+		},
+	}
+}
+
+func TestValidConfig(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestConfigValidationErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*SystemConfig)
+		want   string
+	}{
+		{"no pcpus", func(c *SystemConfig) { c.PCPUs = 0 }, "PCPU"},
+		{"zero timeslice", func(c *SystemConfig) { c.Timeslice = 0 }, "timeslice"},
+		{"no vms", func(c *SystemConfig) { c.VMs = nil }, "VM"},
+		{"zero vcpus", func(c *SystemConfig) { c.VMs[0].VCPUs = 0 }, "VCPU"},
+		{"too many vm vcpus", func(c *SystemConfig) { c.VMs[0].VCPUs = MaxVMVCPUSlots + 1 }, "slots"},
+		{"bad workload", func(c *SystemConfig) { c.VMs[0].Workload.Load = nil }, "workload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTotalSlotLimit(t *testing.T) {
+	cfg := SystemConfig{PCPUs: 4, Timeslice: 30}
+	for i := 0; i < 3; i++ {
+		cfg.VMs = append(cfg.VMs, VMConfig{VCPUs: 8, Workload: wl()})
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("24 VCPUs accepted over the 16-slot limit")
+	}
+}
+
+func TestMoreVCPUsThanPCPUsAllowed(t *testing.T) {
+	// The paper's own Figure 8 runs a 2-VCPU VM on one PCPU.
+	cfg := SystemConfig{
+		PCPUs:     1,
+		Timeslice: 30,
+		VMs:       []VMConfig{{VCPUs: 2, Workload: wl()}},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Figure 8 configuration rejected: %v", err)
+	}
+}
+
+func TestTotalVCPUs(t *testing.T) {
+	if got := validConfig().TotalVCPUs(); got != 3 {
+		t.Fatalf("TotalVCPUs = %d, want 3", got)
+	}
+}
+
+func TestVMName(t *testing.T) {
+	cfg := validConfig()
+	if got := cfg.VMName(0); got != "a" {
+		t.Fatalf("VMName(0) = %q", got)
+	}
+	cfg.VMs[0].Name = ""
+	if got := cfg.VMName(0); got != "VM1" {
+		t.Fatalf("default VMName(0) = %q, want VM1", got)
+	}
+	if got := cfg.VMName(9); got != "VM10" {
+		t.Fatalf("out-of-range VMName = %q, want VM10", got)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	got := validConfig().String()
+	for _, want := range []string{"2VCPU", "1VCPU", "2 PCPUs", "timeslice 30"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q missing %q", got, want)
+		}
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	if got := AvailabilityMetric(0, 1); got != "avail/vm0/vcpu1" {
+		t.Errorf("availability metric = %q", got)
+	}
+	if got := VCPUUtilizationMetric(2, 0); got != "vutil/vm2/vcpu0" {
+		t.Errorf("vcpu utilization metric = %q", got)
+	}
+	if got := PCPUUtilizationMetric(3); got != "putil/pcpu3" {
+		t.Errorf("pcpu utilization metric = %q", got)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	cases := map[Status]string{
+		Inactive:  "INACTIVE",
+		Ready:     "READY",
+		Busy:      "BUSY",
+		Status(0): "Status(0)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+	if Inactive.Active() || !Ready.Active() || !Busy.Active() {
+		t.Error("Active() wrong")
+	}
+}

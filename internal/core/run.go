@@ -1,0 +1,45 @@
+package core
+
+import (
+	"fmt"
+
+	"vcpusim/internal/rng"
+	"vcpusim/internal/san"
+)
+
+// RunReplication builds a fresh system model (a new scheduler instance and
+// new workload-generator streams derived from seed) and simulates it over
+// [0, horizon] ticks on the SAN engine, returning every rate reward's
+// time-averaged value keyed by metric name.
+func RunReplication(cfg SystemConfig, factory SchedulerFactory, horizon float64, seed uint64) (map[string]float64, error) {
+	return RunReplicationInterval(cfg, factory, 0, horizon, seed)
+}
+
+// RunReplicationInterval is RunReplication with transient removal: rewards
+// are measured over [warmup, horizon] only.
+func RunReplicationInterval(cfg SystemConfig, factory SchedulerFactory, warmup, horizon float64, seed uint64) (map[string]float64, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("core: nil scheduler factory")
+	}
+	src := rng.New(seed)
+	sys, err := BuildSystem(cfg, factory(), src)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := san.NewRunner(sys.Model(), src.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	res, err := runner.RunInterval(warmup, horizon)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(res.Rates)+len(res.Impulses))
+	for name, v := range res.Rates {
+		out[name] = v
+	}
+	for name, v := range res.Impulses {
+		out[name] = v
+	}
+	return out, nil
+}

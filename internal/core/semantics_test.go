@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vcpusim/internal/rng"
+	"vcpusim/internal/workload"
+)
+
+// detWL returns a deterministic workload spec: every job takes `load`
+// ticks, every Nth is a sync point.
+func detWL(load float64, syncN int) workload.Spec {
+	return workload.Spec{Load: rng.Deterministic{Value: load}, SyncEveryN: syncN}
+}
+
+// runScript simulates cfg under a scripted scheduler on the SAN engine.
+func runScript(t *testing.T, cfg SystemConfig, fn func(int64, []VCPUView, []PCPUView, *Actions), horizon float64) map[string]float64 {
+	t.Helper()
+	factory := func() Scheduler { return &scriptSched{name: "script", fn: fn} }
+	m, err := RunReplication(cfg, factory, horizon, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func near(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+// TestSaturatedSingleVCPU: one VCPU pinned to one PCPU with continuous
+// work is always BUSY: availability, utilization, and PCPU utilization
+// are all exactly 1.
+func TestSaturatedSingleVCPU(t *testing.T) {
+	cfg := SystemConfig{
+		PCPUs:     1,
+		Timeslice: 5,
+		VMs:       []VMConfig{{VCPUs: 1, Workload: detWL(3, 0)}},
+	}
+	m := runScript(t, cfg, greedy(5).fn, 100)
+	near(t, m[AvailabilityMetric(0, 0)], 1, 0, "availability")
+	near(t, m[VCPUUtilizationMetric(0, 0)], 1, 0, "utilization")
+	near(t, m[PCPUUtilizationMetric(0)], 1, 0, "pcpu utilization")
+	near(t, m[BlockedFractionMetric], 0, 0, "blocked fraction")
+}
+
+// TestStarvedSystem: a scheduler that never assigns leaves every metric at
+// zero.
+func TestStarvedSystem(t *testing.T) {
+	cfg := SystemConfig{
+		PCPUs:     2,
+		Timeslice: 5,
+		VMs:       []VMConfig{{VCPUs: 2, Workload: detWL(3, 2)}},
+	}
+	m := runScript(t, cfg, nil, 50)
+	for name, v := range m {
+		if v != 0 {
+			t.Errorf("metric %s = %g under a never-assigning scheduler", name, v)
+		}
+	}
+}
+
+// TestSingleAssignmentExpires: a VCPU assigned once at t=0 with timeslice
+// 5 and never again is ACTIVE for exactly 5 of 100 ticks.
+func TestSingleAssignmentExpires(t *testing.T) {
+	assigned := false
+	fn := func(_ int64, vcpus []VCPUView, pcpus []PCPUView, acts *Actions) {
+		if !assigned {
+			acts.Assign(0, 0, 5)
+			assigned = true
+		}
+	}
+	cfg := SystemConfig{
+		PCPUs:     1,
+		Timeslice: 5,
+		VMs:       []VMConfig{{VCPUs: 1, Workload: detWL(100, 0)}},
+	}
+	m := runScript(t, cfg, fn, 100)
+	near(t, m[AvailabilityMetric(0, 0)], 0.05, 1e-12, "availability")
+	near(t, m[VCPUUtilizationMetric(0, 0)], 0.05, 1e-12, "utilization") // load 100 covers the slice
+	near(t, m[PCPUUtilizationMetric(0)], 0.05, 1e-12, "pcpu utilization")
+}
+
+// TestPreemptedVCPUKeepsLoad: the semantic-gap scenario — a VCPU
+// descheduled mid-workload retains remaining_load and resumes where it
+// left off, and the VM's barrier meanwhile blocks its siblings.
+func TestPreemptedVCPUKeepsLoad(t *testing.T) {
+	// One VM with 2 VCPUs on one PCPU; every workload is a sync point
+	// (1:1), each taking 10 ticks. Script: give v0 the PCPU for 4 ticks,
+	// then park the PCPU idle for 6 ticks, then give v0 the rest.
+	var observedRemaining []int64
+	fn := func(now int64, vcpus []VCPUView, pcpus []PCPUView, acts *Actions) {
+		observedRemaining = append(observedRemaining, vcpus[0].RemainingLoad)
+		switch now {
+		case 0:
+			acts.Assign(0, 0, 4)
+		case 10:
+			acts.Assign(0, 0, 100)
+		}
+	}
+	cfg := SystemConfig{
+		PCPUs:     1,
+		Timeslice: 4,
+		VMs:       []VMConfig{{VCPUs: 2, Workload: detWL(10, 1)}},
+	}
+	m := runScript(t, cfg, fn, 30)
+
+	// v0 received its 10-tick sync job at t=0. After 4 ticks it was
+	// descheduled with 6 remaining; the load must be intact at t=10.
+	if got := observedRemaining[10]; got != 6 {
+		t.Errorf("remaining load after preemption = %d, want 6", got)
+	}
+	// It resumes at t=10 and completes at t=16; the VM is barrier-blocked
+	// the whole time (sync job in flight), so v1 never processes anything.
+	near(t, m[VCPUUtilizationMetric(0, 1)], 0, 0, "sibling utilization")
+	// v0 processes: job1 ticks 1-4 and 11-16 (10 ticks), then job2 is
+	// dispatched at t=16 and runs until t=26, then job3 16->26... total
+	// busy ticks within [0,30): t in [0,4) u [10,30) minus nothing = 24.
+	near(t, m[VCPUUtilizationMetric(0, 0)], 24.0/30, 1e-9, "v0 utilization")
+}
+
+// TestBarrierBlocksGeneration: with sync 1:1 and two VCPUs always
+// scheduled, only one VCPU ever processes (each barrier admits exactly one
+// job before blocking).
+func TestBarrierBlocksGeneration(t *testing.T) {
+	cfg := SystemConfig{
+		PCPUs:     2,
+		Timeslice: 50,
+		VMs:       []VMConfig{{VCPUs: 2, Workload: detWL(5, 1)}},
+	}
+	m := runScript(t, cfg, greedy(50).fn, 1000)
+	near(t, m[VCPUUtilizationMetric(0, 0)], 1, 1e-9, "v0 utilization")
+	near(t, m[VCPUUtilizationMetric(0, 1)], 0, 0, "v1 utilization")
+	near(t, m[BlockedFractionMetric], 1, 1e-9, "blocked fraction")
+	// Both hold PCPUs regardless.
+	near(t, m[AvailabilityAvgMetric], 1, 0, "availability")
+}
+
+// TestBarrierPairwise: sync 1:2 with two VCPUs — jobs are dispatched in
+// pairs, both complete together (deterministic loads), the barrier clears
+// instantly: both VCPUs stay fully busy.
+func TestBarrierPairwise(t *testing.T) {
+	cfg := SystemConfig{
+		PCPUs:     2,
+		Timeslice: 50,
+		VMs:       []VMConfig{{VCPUs: 2, Workload: detWL(5, 2)}},
+	}
+	m := runScript(t, cfg, greedy(50).fn, 1000)
+	near(t, m[VCPUUtilizationMetric(0, 0)], 1, 1e-9, "v0 utilization")
+	near(t, m[VCPUUtilizationMetric(0, 1)], 1, 1e-9, "v1 utilization")
+}
+
+// TestSchedulerMisbehaviourDetected: invalid scheduling decisions are
+// caught and surfaced as errors.
+func TestSchedulerMisbehaviourDetected(t *testing.T) {
+	cfg := SystemConfig{
+		PCPUs:     2,
+		Timeslice: 10,
+		VMs:       []VMConfig{{VCPUs: 2, Workload: detWL(3, 0)}},
+	}
+	cases := []struct {
+		name string
+		fn   func(int64, []VCPUView, []PCPUView, *Actions)
+		want string
+	}{
+		{"unknown vcpu", func(_ int64, _ []VCPUView, _ []PCPUView, a *Actions) {
+			a.Assign(99, 0, 10)
+		}, "unknown VCPU"},
+		{"unknown pcpu", func(_ int64, _ []VCPUView, _ []PCPUView, a *Actions) {
+			a.Assign(0, 99, 10)
+		}, "unknown PCPU"},
+		{"zero timeslice", func(_ int64, _ []VCPUView, _ []PCPUView, a *Actions) {
+			a.Assign(0, 0, 0)
+		}, "timeslice"},
+		{"double assign vcpu", func(_ int64, v []VCPUView, _ []PCPUView, a *Actions) {
+			if v[0].Status == Inactive {
+				a.Assign(0, 0, 10)
+				a.Assign(0, 1, 10)
+			}
+		}, "double-assigned"},
+		{"busy pcpu", func(_ int64, v []VCPUView, _ []PCPUView, a *Actions) {
+			if v[0].Status == Inactive {
+				a.Assign(0, 0, 10)
+				a.Assign(1, 0, 10)
+			}
+		}, "busy PCPU"},
+		{"preempt inactive", func(_ int64, _ []VCPUView, _ []PCPUView, a *Actions) {
+			a.Preempt(0)
+		}, "preempted inactive"},
+		{"preempt unknown", func(_ int64, _ []VCPUView, _ []PCPUView, a *Actions) {
+			a.Preempt(-3)
+		}, "unknown VCPU"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			factory := func() Scheduler { return &scriptSched{name: "bad", fn: tc.fn} }
+			_, err := RunReplication(cfg, factory, 10, 1)
+			if err == nil {
+				t.Fatal("misbehaving scheduler not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestPreemptThenReassignSameTick: a scheduler may preempt a VCPU and
+// immediately hand its PCPU to another VCPU within the same tick.
+func TestPreemptThenReassignSameTick(t *testing.T) {
+	fn := func(now int64, vcpus []VCPUView, pcpus []PCPUView, acts *Actions) {
+		switch now {
+		case 0:
+			acts.Assign(0, 0, 1000)
+		case 50:
+			acts.Preempt(0)
+			acts.Assign(1, 0, 1000)
+		}
+	}
+	cfg := SystemConfig{
+		PCPUs:     1,
+		Timeslice: 1000,
+		VMs:       []VMConfig{{VCPUs: 2, Workload: detWL(4, 0)}},
+	}
+	m := runScript(t, cfg, fn, 100)
+	near(t, m[AvailabilityMetric(0, 0)], 0.5, 1e-9, "v0 availability")
+	near(t, m[AvailabilityMetric(0, 1)], 0.5, 1e-9, "v1 availability")
+	near(t, m[PCPUUtilizationMetric(0)], 1, 0, "pcpu utilization")
+}
+
+// TestRuntimeAccounting: the Runtime field grows by exactly one per ACTIVE
+// tick and LastScheduledIn records assignment times.
+func TestRuntimeAccounting(t *testing.T) {
+	type obs struct {
+		runtime int64
+		lastIn  int64
+	}
+	var at60 obs
+	fn := func(now int64, vcpus []VCPUView, pcpus []PCPUView, acts *Actions) {
+		switch now {
+		case 0:
+			acts.Assign(0, 0, 10) // active [0,10)
+		case 30:
+			acts.Assign(0, 0, 20) // active [30,50)
+		case 60:
+			at60 = obs{runtime: vcpus[0].Runtime, lastIn: vcpus[0].LastScheduledIn}
+		}
+	}
+	cfg := SystemConfig{
+		PCPUs:     1,
+		Timeslice: 10,
+		VMs:       []VMConfig{{VCPUs: 1, Workload: detWL(1000, 0)}},
+	}
+	runScript(t, cfg, fn, 80)
+	if at60.runtime != 30 {
+		t.Errorf("runtime at t=60 = %d, want 30", at60.runtime)
+	}
+	if at60.lastIn != 30 {
+		t.Errorf("lastScheduledIn at t=60 = %d, want 30", at60.lastIn)
+	}
+}
+
+// TestAvailabilityCeiling: with more PCPUs than VCPUs and a greedy
+// scheduler, every VCPU is perpetually ACTIVE ("A 100% VCPU Availability
+// means... there are more PCPUs than VCPUs").
+func TestAvailabilityCeiling(t *testing.T) {
+	cfg := SystemConfig{
+		PCPUs:     4,
+		Timeslice: 7,
+		VMs:       []VMConfig{{VCPUs: 2, Workload: detWL(3, 3)}, {VCPUs: 1, Workload: detWL(5, 0)}},
+	}
+	m := runScript(t, cfg, greedy(7).fn, 500)
+	near(t, m[AvailabilityAvgMetric], 1, 0, "availability avg")
+	// Only 3 of 4 PCPUs can ever be used.
+	near(t, m[PCPUUtilizationAvgMetric], 0.75, 1e-9, "pcpu avg")
+}

@@ -1,0 +1,174 @@
+// Package core implements the paper's primary contribution: a model of a
+// complete virtualization system — workload generators, per-VM job
+// schedulers, VCPUs, and a hypervisor-level VCPU scheduler with an open
+// interface for user-defined scheduling algorithms — expressed as composed
+// Stochastic Activity Network sub-models (the paper's Figures 2–7) and
+// executed by the SAN engine in internal/san.
+//
+// The scheduling-function interface mirrors the paper's C interface
+//
+//	bool schedule(VCPU_host_external* vcpus, int num_vcpu,
+//	              PCPU_external* pcpus, int num_pcpu, long timestamp)
+//
+// as the Scheduler interface: each clock tick the framework passes the full
+// VCPU and PCPU state to the plugged-in algorithm, which records assignment
+// and preemption decisions.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Status is the state of a VCPU (paper §III.B.2).
+type Status int
+
+// VCPU states. READY and BUSY are together the ACTIVE states; an INACTIVE
+// VCPU holds no PCPU but may retain unfinished load and a synchronization
+// point (the preempted-lock-holder scenario).
+const (
+	Inactive Status = iota + 1 // not assigned to any PCPU
+	Ready                      // assigned a PCPU, no workload
+	Busy                       // assigned a PCPU, processing a workload
+)
+
+// String returns the paper's name for the status.
+func (s Status) String() string {
+	switch s {
+	case Inactive:
+		return "INACTIVE"
+	case Ready:
+		return "READY"
+	case Busy:
+		return "BUSY"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Active reports whether the status is one of the ACTIVE states.
+func (s Status) Active() bool { return s == Ready || s == Busy }
+
+// VCPUView is the per-VCPU state passed to scheduling functions; it mirrors
+// the paper's VCPU_host_external layout (plus VM topology and cumulative
+// runtime, which the paper's algorithms derive from timestamps).
+type VCPUView struct {
+	// ID is the global VCPU index in the system.
+	ID int
+	// VM is the index of the owning VM; Sibling is the VCPU's index
+	// within that VM.
+	VM      int
+	Sibling int
+	// Status is the current VCPU state.
+	Status Status
+	// RemainingLoad is the unfinished processing time of the current
+	// workload, in ticks.
+	RemainingLoad int64
+	// SyncPoint reports whether the current workload carries a barrier
+	// synchronization point.
+	SyncPoint bool
+	// PCPU is the assigned physical CPU, or -1.
+	PCPU int
+	// Timeslice is the remaining time the VCPU may keep its PCPU.
+	Timeslice int64
+	// LastScheduledIn is the timestamp of the last Schedule_In event
+	// (the paper's Last_Scheduled_In field), or -1 if never scheduled.
+	LastScheduledIn int64
+	// Runtime is the cumulative number of ticks the VCPU has held a
+	// PCPU; co-scheduling algorithms derive sibling skew from it.
+	Runtime int64
+}
+
+// PCPUView is the per-PCPU state passed to scheduling functions; it mirrors
+// the paper's PCPU_external.
+type PCPUView struct {
+	// ID is the PCPU index.
+	ID int
+	// VCPU is the VCPU currently assigned, or -1 when IDLE.
+	VCPU int
+}
+
+// Idle reports whether the PCPU has no VCPU assigned.
+func (p PCPUView) Idle() bool { return p.VCPU < 0 }
+
+// Assign is one scheduling decision: give a PCPU to a VCPU for a timeslice.
+type Assign struct {
+	VCPU      int
+	PCPU      int
+	Timeslice int64
+}
+
+// Actions collects the decisions of one scheduling-function invocation. The
+// framework applies preemptions first, then assignments, and validates both
+// against the marking.
+type Actions struct {
+	assigns  []Assign
+	preempts []int
+}
+
+// Assign records that vcpu should be scheduled onto pcpu with the given
+// timeslice.
+func (a *Actions) Assign(vcpu, pcpu int, timeslice int64) {
+	a.assigns = append(a.assigns, Assign{VCPU: vcpu, PCPU: pcpu, Timeslice: timeslice})
+}
+
+// Preempt records that vcpu should relinquish its PCPU (Schedule_Out)
+// before its timeslice expires.
+func (a *Actions) Preempt(vcpu int) {
+	a.preempts = append(a.preempts, vcpu)
+}
+
+// Assigns returns the recorded assignments.
+func (a *Actions) Assigns() []Assign { return append([]Assign(nil), a.assigns...) }
+
+// Preempts returns the recorded preemptions.
+func (a *Actions) Preempts() []int { return append([]int(nil), a.preempts...) }
+
+// Empty reports whether no decision was recorded.
+func (a *Actions) Empty() bool { return len(a.assigns) == 0 && len(a.preempts) == 0 }
+
+// Scheduler is the pluggable VCPU scheduling algorithm, the Go counterpart
+// of the paper's C function-call interface. Schedule is invoked once per
+// clock tick after timeslice accounting; vcpus and pcpus describe the
+// complete system state, and decisions are recorded on acts.
+//
+// Implementations may keep internal state across calls (run queues, skew
+// counters); a fresh Scheduler is constructed for every replication, so no
+// reset mechanism is needed.
+type Scheduler interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Schedule records assignment/preemption decisions for the current
+	// tick. now is the tick timestamp, starting at 0.
+	Schedule(now int64, vcpus []VCPUView, pcpus []PCPUView, acts *Actions)
+}
+
+// SchedulerFactory constructs a fresh Scheduler for one replication.
+type SchedulerFactory func() Scheduler
+
+// SiblingsOf groups VCPU IDs by VM, derived from the views. Schedulers use
+// it to discover gang membership.
+func SiblingsOf(vcpus []VCPUView) map[int][]int {
+	byVM := make(map[int][]int)
+	for _, v := range vcpus {
+		byVM[v.VM] = append(byVM[v.VM], v.ID)
+	}
+	for vm := range byVM {
+		ids := byVM[vm]
+		sort.Slice(ids, func(i, j int) bool {
+			return vcpus[ids[i]].Sibling < vcpus[ids[j]].Sibling
+		})
+	}
+	return byVM
+}
+
+// IdlePCPUs returns the IDs of idle PCPUs in ascending order.
+func IdlePCPUs(pcpus []PCPUView) []int {
+	var idle []int
+	for _, p := range pcpus {
+		if p.Idle() {
+			idle = append(idle, p.ID)
+		}
+	}
+	return idle
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSiblingsOf(t *testing.T) {
+	vcpus := []VCPUView{
+		{ID: 0, VM: 0, Sibling: 0},
+		{ID: 1, VM: 0, Sibling: 1},
+		{ID: 2, VM: 1, Sibling: 0},
+		{ID: 3, VM: 2, Sibling: 0},
+	}
+	got := SiblingsOf(vcpus)
+	want := map[int][]int{0: {0, 1}, 1: {2}, 2: {3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SiblingsOf = %v, want %v", got, want)
+	}
+}
+
+func TestSiblingsOfOrdersBySibling(t *testing.T) {
+	// Views indexed by ID but siblings defined out of order.
+	vcpus := []VCPUView{
+		{ID: 0, VM: 0, Sibling: 2},
+		{ID: 1, VM: 0, Sibling: 0},
+		{ID: 2, VM: 0, Sibling: 1},
+	}
+	got := SiblingsOf(vcpus)[0]
+	want := []int{1, 2, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gang order = %v, want %v", got, want)
+	}
+}
+
+func TestIdlePCPUs(t *testing.T) {
+	pcpus := []PCPUView{
+		{ID: 0, VCPU: 3},
+		{ID: 1, VCPU: -1},
+		{ID: 2, VCPU: -1},
+	}
+	if got := IdlePCPUs(pcpus); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("IdlePCPUs = %v, want [1 2]", got)
+	}
+	if IdlePCPUs(nil) != nil {
+		t.Fatal("IdlePCPUs(nil) should be nil")
+	}
+	if !pcpus[1].Idle() || pcpus[0].Idle() {
+		t.Fatal("Idle() wrong")
+	}
+}
+
+func TestActions(t *testing.T) {
+	var a Actions
+	if !a.Empty() {
+		t.Fatal("fresh Actions not empty")
+	}
+	a.Assign(1, 2, 30)
+	a.Preempt(4)
+	if a.Empty() {
+		t.Fatal("Actions with decisions reported empty")
+	}
+	assigns := a.Assigns()
+	if len(assigns) != 1 || assigns[0] != (Assign{VCPU: 1, PCPU: 2, Timeslice: 30}) {
+		t.Fatalf("Assigns = %v", assigns)
+	}
+	preempts := a.Preempts()
+	if len(preempts) != 1 || preempts[0] != 4 {
+		t.Fatalf("Preempts = %v", preempts)
+	}
+	// The returned slices are copies.
+	assigns[0].VCPU = 99
+	if a.Assigns()[0].VCPU != 1 {
+		t.Fatal("Assigns returned internal slice")
+	}
+}

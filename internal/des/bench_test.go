@@ -1,0 +1,47 @@
+package des
+
+import "testing"
+
+func BenchmarkScheduleAndStep(b *testing.B) {
+	k := NewKernel()
+	handler := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.ScheduleAfter(1, 0, "e", handler); err != nil {
+			b.Fatal(err)
+		}
+		k.Step()
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	// 1024 pending events with continual insert/pop churn.
+	k := NewKernel()
+	handler := func() {}
+	for i := 0; i < 1024; i++ {
+		if _, err := k.Schedule(float64(i), 0, "seed", handler); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.ScheduleAfter(2048, 0, "e", handler); err != nil {
+			b.Fatal(err)
+		}
+		k.Step()
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	k := NewKernel()
+	handler := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev, err := k.ScheduleAfter(1, 0, "e", handler)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k.Cancel(ev)
+	}
+}

@@ -1,0 +1,169 @@
+// Package des implements the discrete-event simulation kernel underneath the
+// SAN engine: a future-event list ordered by (time, priority, sequence), a
+// simulation clock, and event cancellation.
+//
+// Determinism: events scheduled for the same time fire in priority order
+// (lower first) and, within a priority, in scheduling order. Given the same
+// seeds, a simulation therefore always produces the same trajectory.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Handler is the callback executed when an event fires.
+type Handler func()
+
+// Event is a scheduled occurrence. Events are created by Kernel.Schedule and
+// may be cancelled until they fire.
+type Event struct {
+	time     float64
+	priority int
+	seq      uint64
+	index    int // heap index; -1 when not queued
+	handler  Handler
+	name     string
+}
+
+// Time returns the simulation time the event is scheduled for.
+func (e *Event) Time() float64 { return e.time }
+
+// Name returns the diagnostic label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Pending reports whether the event is still queued (not fired, not
+// cancelled).
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// Kernel is a discrete-event simulation executor. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now    float64
+	queue  eventQueue
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewKernel returns a kernel with the clock at zero and an empty event list.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Fired returns the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Len returns the number of pending events.
+func (k *Kernel) Len() int { return len(k.queue) }
+
+// ErrPast is returned when scheduling before the current time.
+var ErrPast = errors.New("des: schedule in the past")
+
+// Schedule enqueues handler to run at absolute time t with the given
+// priority (lower fires first among same-time events). The returned Event
+// can be cancelled. It returns ErrPast if t precedes the current time.
+func (k *Kernel) Schedule(t float64, priority int, name string, handler Handler) (*Event, error) {
+	if t < k.now {
+		return nil, fmt.Errorf("%w: %g < now %g (%s)", ErrPast, t, k.now, name)
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("des: nil handler for event %q", name)
+	}
+	k.seq++
+	ev := &Event{time: t, priority: priority, seq: k.seq, handler: handler, name: name}
+	heap.Push(&k.queue, ev)
+	return ev, nil
+}
+
+// ScheduleAfter enqueues handler to run delay time units from now.
+func (k *Kernel) ScheduleAfter(delay float64, priority int, name string, handler Handler) (*Event, error) {
+	return k.Schedule(k.now+delay, priority, name, handler)
+}
+
+// Cancel removes a pending event from the event list. Cancelling an event
+// that already fired or was already cancelled is a no-op.
+func (k *Kernel) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&k.queue, ev.index)
+	ev.index = -1
+}
+
+// Halt stops the run loop after the current event completes.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Step fires the next event, advancing the clock to its time. It returns
+// false when no events remain.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.queue).(*Event)
+	ev.index = -1
+	k.now = ev.time
+	k.fired++
+	ev.handler()
+	return true
+}
+
+// RunUntil fires events until the clock would pass horizon, the event list
+// empties, or Halt is called. Events scheduled exactly at the horizon fire.
+// Afterwards the clock is set to the horizon (if it was reached).
+func (k *Kernel) RunUntil(horizon float64) {
+	k.halted = false
+	for !k.halted {
+		if len(k.queue) == 0 {
+			break
+		}
+		if k.queue[0].time > horizon {
+			break
+		}
+		k.Step()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// eventQueue is a binary heap of events ordered by (time, priority, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

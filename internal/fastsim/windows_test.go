@@ -1,0 +1,139 @@
+package fastsim
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"vcpusim/internal/core"
+	"vcpusim/internal/sched"
+	"vcpusim/internal/sim"
+)
+
+func TestRunWindowedValidation(t *testing.T) {
+	cfg := core.SystemConfig{PCPUs: 1, Timeslice: 10, VMs: []core.VMConfig{{VCPUs: 1, Workload: uniWL(0)}}}
+	mk := func() *Engine {
+		e, err := New(cfg, sched.NewRoundRobin(10), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if _, err := mk().RunWindowed(0, 0, 10); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := mk().RunWindowed(50, 40, 10); err == nil {
+		t.Error("warmup past horizon accepted")
+	}
+	if _, err := mk().RunWindowed(0, 100, 33); err == nil {
+		t.Error("non-dividing window accepted")
+	}
+	if _, err := mk().RunWindowed(0, 100, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestRunWindowedCountsAndConsistency(t *testing.T) {
+	cfg := core.SystemConfig{
+		PCPUs:     2,
+		Timeslice: 15,
+		VMs:       []core.VMConfig{{VCPUs: 2, Workload: uniWL(3)}, {VCPUs: 1, Workload: uniWL(0)}},
+	}
+	eng, err := New(cfg, sched.NewRoundRobin(15), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmup, horizon, window = 200, 2200, 100
+	windows, err := eng.RunWindowed(warmup, horizon, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != (horizon-warmup)/window {
+		t.Fatalf("window count = %d, want %d", len(windows), (horizon-warmup)/window)
+	}
+	// The window means must average to the whole-interval means.
+	whole, err := RunReplicationInterval(cfg, func() core.Scheduler { return sched.NewRoundRobin(15) },
+		warmup, horizon, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{
+		core.AvailabilityAvgMetric, core.VCPUUtilizationAvgMetric, core.PCPUUtilizationAvgMetric,
+	} {
+		sum := 0.0
+		for _, w := range windows {
+			sum += w[metric]
+		}
+		avg := sum / float64(len(windows))
+		if math.Abs(avg-whole[metric]) > 1e-9 {
+			t.Errorf("%s: window average %g vs whole-run %g", metric, avg, whole[metric])
+		}
+	}
+}
+
+func TestBatchMeansFromWindows(t *testing.T) {
+	cfg := core.SystemConfig{
+		PCPUs:     2,
+		Timeslice: 15,
+		VMs:       []core.VMConfig{{VCPUs: 2, Workload: uniWL(3)}, {VCPUs: 2, Workload: uniWL(4)}},
+	}
+	eng, err := New(cfg, sched.NewRoundRobin(15), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := eng.RunWindowed(500, 20500, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sim.BatchMeans(windows, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Replications != 20 {
+		t.Fatalf("batches = %d, want 20", sum.Replications)
+	}
+	iv, ok := sum.Metric(core.VCPUUtilizationAvgMetric)
+	if !ok {
+		t.Fatal("missing utilization interval")
+	}
+	// The single-run batch-means estimate must agree with independent
+	// replications of the same system within the joint uncertainty.
+	reps, err := sim.Run(testContext(t), func(_ int, seed uint64) (map[string]float64, error) {
+		return RunReplicationInterval(cfg, func() core.Scheduler { return sched.NewRoundRobin(15) }, 500, 20500, seed)
+	}, sim.Options{Seed: 77, MinReps: 10, MaxReps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repIv := reps.Metrics[core.VCPUUtilizationAvgMetric]
+	if math.Abs(iv.Mean-repIv.Mean) > 3*(iv.HalfWidth+repIv.HalfWidth)+0.02 {
+		t.Errorf("batch means %v vs replications %v disagree", iv, repIv)
+	}
+}
+
+func TestBatchMeansErrors(t *testing.T) {
+	if _, err := sim.BatchMeans(nil, 0.95); err == nil {
+		t.Error("empty batches accepted")
+	}
+	one := []map[string]float64{{"m": 1}}
+	if _, err := sim.BatchMeans(one, 0.95); err == nil {
+		t.Error("single batch accepted")
+	}
+	two := []map[string]float64{{"m": 1}, {"m": 2}}
+	if _, err := sim.BatchMeans(two, 1.5); err == nil {
+		t.Error("bad level accepted")
+	}
+	sum, err := sim.BatchMeans(two, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Mean("m") != 1.5 {
+		t.Errorf("mean = %g, want 1.5", sum.Mean("m"))
+	}
+}
+
+// testContext returns a background context; a helper so the tests read
+// cleanly.
+func testContext(t *testing.T) context.Context {
+	t.Helper()
+	return context.Background()
+}

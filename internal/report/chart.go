@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderChart writes the table as grouped horizontal ASCII bars — the
+// textual analogue of the paper's bar-chart figures. Values are expected
+// in [0, 1] (the framework's utilization/availability metrics); larger
+// values are clamped. width is the length of a full bar in characters
+// (default 40 when <= 0).
+func (t *Table) RenderChart(w io.Writer, width int) error {
+	if width <= 0 {
+		width = 40
+	}
+	labelWidth := len(t.RowHeader)
+	for _, r := range t.RowLabels {
+		if len(r) > labelWidth {
+			labelWidth = len(r)
+		}
+	}
+	seriesWidth := 0
+	for _, c := range t.ColLabels {
+		if len(c) > seriesWidth {
+			seriesWidth = len(c)
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	for _, r := range t.RowLabels {
+		fmt.Fprintf(&b, "%s\n", r)
+		for _, c := range t.ColLabels {
+			cell := t.cells[r][c]
+			if !cell.OK {
+				fmt.Fprintf(&b, "  %-*s %s\n", seriesWidth, c, "-")
+				continue
+			}
+			v := cell.Interval.Mean
+			if v < 0 {
+				v = 0
+			}
+			clamped := v
+			if clamped > 1 {
+				clamped = 1
+			}
+			filled := int(clamped*float64(width) + 0.5)
+			bar := strings.Repeat("#", filled) + strings.Repeat(".", width-filled)
+			fmt.Fprintf(&b, "  %-*s |%s| %.3f\n", seriesWidth, c, bar, v)
+		}
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

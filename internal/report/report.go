@@ -1,0 +1,153 @@
+// Package report renders experiment results: aligned ASCII tables with
+// confidence intervals (matching the series the paper's figures plot) and
+// CSV export for external plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"vcpusim/internal/stats"
+)
+
+// Cell is one measured value in a table.
+type Cell struct {
+	Interval stats.Interval
+	// OK distinguishes a measured cell from an empty one.
+	OK bool
+}
+
+// Table is a labeled grid of measurements: one row per RowLabel, one column
+// per ColLabel.
+type Table struct {
+	Title     string
+	RowHeader string
+	RowLabels []string
+	ColLabels []string
+	cells     map[string]map[string]Cell
+	Notes     []string
+}
+
+// NewTable creates an empty table with the given axes.
+func NewTable(title, rowHeader string, rowLabels, colLabels []string) *Table {
+	return &Table{
+		Title:     title,
+		RowHeader: rowHeader,
+		RowLabels: append([]string(nil), rowLabels...),
+		ColLabels: append([]string(nil), colLabels...),
+		cells:     make(map[string]map[string]Cell),
+	}
+}
+
+// Set stores a measurement.
+func (t *Table) Set(row, col string, iv stats.Interval) {
+	if t.cells[row] == nil {
+		t.cells[row] = make(map[string]Cell)
+	}
+	t.cells[row][col] = Cell{Interval: iv, OK: true}
+}
+
+// Get returns a measurement.
+func (t *Table) Get(row, col string) (stats.Interval, bool) {
+	c := t.cells[row][col]
+	return c.Interval, c.OK
+}
+
+// AddNote appends a footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned ASCII with "mean ±hw" cells.
+func (t *Table) Render(w io.Writer) error {
+	cols := make([]string, 0, len(t.ColLabels)+1)
+	cols = append(cols, t.RowHeader)
+	cols = append(cols, t.ColLabels...)
+
+	rows := make([][]string, 0, len(t.RowLabels))
+	for _, r := range t.RowLabels {
+		row := make([]string, 0, len(cols))
+		row = append(row, r)
+		for _, c := range t.ColLabels {
+			cell := t.cells[r][c]
+			if !cell.OK {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f ±%.3f", cell.Interval.Mean, cell.Interval.HalfWidth))
+		}
+		rows = append(rows, row)
+	}
+
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(cols)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, row := range rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV exports the table as CSV: row label, column label, mean,
+// half-width, confidence level, replication count.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{t.RowHeader, "series", "mean", "halfwidth", "level", "n"}); err != nil {
+		return fmt.Errorf("report: write header: %w", err)
+	}
+	for _, r := range t.RowLabels {
+		for _, c := range t.ColLabels {
+			cell := t.cells[r][c]
+			if !cell.OK {
+				continue
+			}
+			rec := []string{
+				r, c,
+				fmt.Sprintf("%.6f", cell.Interval.Mean),
+				fmt.Sprintf("%.6f", cell.Interval.HalfWidth),
+				fmt.Sprintf("%.2f", cell.Interval.Level),
+				fmt.Sprintf("%d", cell.Interval.N),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("report: write row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"vcpusim/internal/stats"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Title", "row", []string{"r1", "r2"}, []string{"A", "B"})
+	t.Set("r1", "A", stats.Interval{Mean: 0.5, HalfWidth: 0.01, Level: 0.95, N: 10})
+	t.Set("r1", "B", stats.Interval{Mean: 0.75, HalfWidth: 0.02, Level: 0.95, N: 10})
+	t.Set("r2", "A", stats.Interval{Mean: 1, HalfWidth: 0, Level: 0.95, N: 10})
+	// r2/B intentionally missing.
+	t.AddNote("a %s note", "formatted")
+	return t
+}
+
+func TestTableRender(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Title", "row", "A", "B",
+		"0.500 ±0.010", "0.750 ±0.020", "1.000 ±0.000",
+		"note: a formatted note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The missing cell renders as a dash.
+	lines := strings.Split(out, "\n")
+	var r2 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "r2") {
+			r2 = l
+		}
+	}
+	if !strings.Contains(r2, "-") {
+		t.Errorf("missing cell not rendered as dash: %q", r2)
+	}
+}
+
+func TestTableGet(t *testing.T) {
+	tbl := sampleTable()
+	iv, ok := tbl.Get("r1", "A")
+	if !ok || iv.Mean != 0.5 {
+		t.Fatalf("Get = %v, %v", iv, ok)
+	}
+	if _, ok := tbl.Get("r2", "B"); ok {
+		t.Fatal("missing cell reported present")
+	}
+	if _, ok := tbl.Get("zzz", "A"); ok {
+		t.Fatal("unknown row reported present")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 populated cells
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != "row,series,mean,halfwidth,level,n" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "r1,A,0.500000,0.010000,0.95,10") {
+		t.Fatalf("CSV missing r1/A row:\n%s", out)
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	var b strings.Builder
+	tbl := NewTable("", "x", []string{"short", "a-much-longer-row-label"}, []string{"col"})
+	tbl.Set("short", "col", stats.Interval{Mean: 1})
+	tbl.Set("a-much-longer-row-label", "col", stats.Interval{Mean: 2})
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	// Value columns start at the same offset on every data row.
+	idx1 := strings.Index(lines[2], "1.000")
+	idx2 := strings.Index(lines[3], "2.000")
+	if idx1 != idx2 || idx1 < 0 {
+		t.Fatalf("columns misaligned:\n%s", b.String())
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().RenderChart(&b, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Title", "r1", "r2",
+		"|#####.....| 0.500",
+		"|##########| 1.000",
+		"note: a formatted note",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cell renders as a dash line.
+	if !strings.Contains(out, "B -") && !strings.Contains(out, "B  -") {
+		t.Errorf("missing cell not dashed:\n%s", out)
+	}
+}
+
+func TestRenderChartClampsAndDefaults(t *testing.T) {
+	tbl := NewTable("", "x", []string{"r"}, []string{"c"})
+	tbl.Set("r", "c", stats.Interval{Mean: 1.7})
+	var b strings.Builder
+	if err := tbl.RenderChart(&b, 0); err != nil { // default width
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, strings.Repeat("#", 40)) {
+		t.Errorf("clamped bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "1.700") {
+		t.Errorf("raw value not printed:\n%s", out)
+	}
+}

@@ -1,0 +1,40 @@
+package rng
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.Uint64()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.Float64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = src.Intn(1000)
+	}
+}
+
+func BenchmarkExponentialSample(b *testing.B) {
+	src := New(1)
+	d := Exponential{Rate: 0.5}
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(src)
+	}
+}
+
+func BenchmarkNormalSample(b *testing.B) {
+	src := New(1)
+	d := Normal{Mu: 5, Sigma: 2}
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(src)
+	}
+}

@@ -1,0 +1,313 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("sequence diverged at step %d: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	src := New(0)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		seen[src.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero-seeded source produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// The child stream must not simply mirror the parent.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("split stream tracked the parent %d/100 times", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	c1 := New(7).Split()
+	c2 := New(7).Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("split is not deterministic at step %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	src := New(3)
+	for i := 0; i < 100000; i++ {
+		f := src.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	src := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += src.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	src := New(9)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := src.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	src := New(13)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[src.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("Intn(%d): value %d drawn %d times, want ~%g", n, v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPerm(t *testing.T) {
+	src := New(21)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := src.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	src := New(17)
+	for i := 0; i < 10000; i++ {
+		if v := src.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}
+
+// sampleMean draws n variates and returns their mean.
+func sampleMean(t *testing.T, d Distribution, n int) float64 {
+	t.Helper()
+	src := New(1234)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(src)
+	}
+	return sum / float64(n)
+}
+
+func TestDistributionMeans(t *testing.T) {
+	emp, err := NewEmpirical([]float64{1, 5, 10}, []float64{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		dist Distribution
+		tol  float64
+	}{
+		{Deterministic{Value: 4.2}, 1e-10},
+		{Uniform{Low: 2, High: 10}, 0.05},
+		{Exponential{Rate: 0.25}, 0.1},
+		{Erlang{K: 3, Rate: 0.5}, 0.1},
+		{Normal{Mu: 7, Sigma: 2}, 0.05},
+		{LogNormal{Mu: 1, Sigma: 0.5}, 0.1},
+		{Geometric{P: 0.2}, 0.1},
+		{Bernoulli{P: 0.3}, 0.02},
+		{emp, 0.1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dist.String(), func(t *testing.T) {
+			got := sampleMean(t, tc.dist, 100000)
+			want := tc.dist.Mean()
+			if math.Abs(got-want) > tc.tol*math.Max(1, math.Abs(want)) {
+				t.Fatalf("sample mean %g, analytic mean %g", got, want)
+			}
+		})
+	}
+}
+
+func TestExponentialPositive(t *testing.T) {
+	src := New(3)
+	d := Exponential{Rate: 2}
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(src); v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("exponential sample invalid: %g", v)
+		}
+	}
+}
+
+func TestGeometricSupport(t *testing.T) {
+	src := New(3)
+	d := Geometric{P: 0.5}
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(src)
+		if v < 1 || v != math.Trunc(v) {
+			t.Fatalf("geometric sample %g not a positive integer", v)
+		}
+	}
+}
+
+func TestBernoulliValues(t *testing.T) {
+	src := New(3)
+	d := Bernoulli{P: 0.5}
+	for i := 0; i < 1000; i++ {
+		if v := d.Sample(src); v != 0 && v != 1 {
+			t.Fatalf("bernoulli sample %g", v)
+		}
+	}
+}
+
+func TestEmpiricalErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		values  []float64
+		weights []float64
+	}{
+		{"empty", nil, nil},
+		{"mismatch", []float64{1, 2}, []float64{1}},
+		{"negative weight", []float64{1}, []float64{-1}},
+		{"zero weights", []float64{1, 2}, []float64{0, 0}},
+		{"nan weight", []float64{1}, []float64{math.NaN()}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewEmpirical(tc.values, tc.weights); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestEmpiricalOnlySampledValues(t *testing.T) {
+	emp, err := NewEmpirical([]float64{3, 9}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := New(5)
+	counts := map[float64]int{}
+	for i := 0; i < 10000; i++ {
+		counts[emp.Sample(src)]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("sampled unexpected values: %v", counts)
+	}
+	// 9 has 3x the weight of 3.
+	ratio := float64(counts[9]) / float64(counts[3])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("weight ratio %g, want ~3", ratio)
+	}
+}
+
+func TestQuickFloat64InRange(t *testing.T) {
+	f := func(seed uint64, steps uint8) bool {
+		src := New(seed)
+		for i := 0; i < int(steps); i++ {
+			v := src.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		src := New(seed)
+		for i := 0; i < 50; i++ {
+			v := src.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n % 64)
+		p := New(seed).Perm(size)
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(p) == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package san
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the model structure in Graphviz DOT format: places as
+// ellipses, extended places as double ellipses, activities as bars (timed)
+// or thin bars (instantaneous), and documented links as edges. Submodels
+// become clusters, so the output mirrors the paper's composed-model figures.
+func (m *Model) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", m.name)
+
+	// Group components by submodel (prefix before the first '/').
+	clusters := make(map[string][]string)
+	addNode := func(name, attrs string) {
+		sub, _, found := strings.Cut(name, "/")
+		if !found {
+			sub = ""
+		}
+		clusters[sub] = append(clusters[sub], fmt.Sprintf("    %q [%s];", name, attrs))
+	}
+
+	for _, p := range m.places {
+		label := fmt.Sprintf("label=\"%s\\n(init=%d)\", shape=ellipse", shortName(p.name), p.initial)
+		if len(p.joins) > 1 {
+			label += ", style=filled, fillcolor=lightyellow"
+		}
+		addNode(p.name, label)
+	}
+	for _, p := range m.extPlaces {
+		label := fmt.Sprintf("label=\"%s\", shape=ellipse, peripheries=2", shortName(p.Name()))
+		if len(p.JoinedBy()) > 1 {
+			label += ", style=filled, fillcolor=lightyellow"
+		}
+		addNode(p.Name(), label)
+	}
+	for _, a := range m.activities {
+		shape := "box"
+		style := "style=filled, fillcolor=gray80"
+		if a.kind == Instantaneous {
+			style = "style=filled, fillcolor=white"
+		}
+		addNode(a.name, fmt.Sprintf("label=%q, shape=%s, height=0.2, %s", shortName(a.name), shape, style))
+	}
+
+	subs := make([]string, 0, len(clusters))
+	for sub := range clusters {
+		subs = append(subs, sub)
+	}
+	sort.Strings(subs)
+	for i, sub := range subs {
+		if sub == "" {
+			for _, line := range clusters[sub] {
+				fmt.Fprintln(&b, line)
+			}
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", i, sub)
+		for _, line := range clusters[sub] {
+			fmt.Fprintln(&b, line)
+		}
+		fmt.Fprintln(&b, "  }")
+	}
+
+	for _, a := range m.activities {
+		for _, l := range a.links {
+			switch l.Kind {
+			case LinkInput:
+				fmt.Fprintf(&b, "  %q -> %q;\n", l.Place, a.name)
+			case LinkOutput:
+				fmt.Fprintf(&b, "  %q -> %q;\n", a.name, l.Place)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// shortName strips the submodel prefix for display.
+func shortName(name string) string {
+	if _, rest, found := strings.Cut(name, "/"); found {
+		return rest
+	}
+	return name
+}

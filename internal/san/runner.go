@@ -1,0 +1,318 @@
+package san
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vcpusim/internal/des"
+	"vcpusim/internal/rng"
+	"vcpusim/internal/stats"
+)
+
+// stabilizeCap bounds the number of instantaneous firings between two time
+// advances; exceeding it indicates an instantaneous livelock in the model.
+const stabilizeCap = 1 << 20
+
+// Results holds the reward values measured over one replication.
+type Results struct {
+	// Warmup is the transient prefix excluded from the rewards.
+	Warmup float64
+	// Horizon is the simulated interval length.
+	Horizon float64
+	// Rates maps rate-reward name to its time-averaged value over the
+	// interval.
+	Rates map[string]float64
+	// Impulses maps impulse-reward name to its accumulated total.
+	Impulses map[string]float64
+	// Events is the number of kernel events fired.
+	Events uint64
+	// Firings is the number of activity completions (timed and
+	// instantaneous).
+	Firings uint64
+}
+
+// Runner executes one model replication. A Runner is single-use: create one
+// per replication (the model's marking is reset at construction).
+type Runner struct {
+	model    *Model
+	kernel   *des.Kernel
+	src      *rng.Source
+	events   map[*Activity]*des.Event
+	rates    []*stats.TimeWeighted
+	impulses []float64
+	firings  uint64
+	instants []*Activity // instantaneous activities in firing order
+	failed   error
+
+	// Transient-removal state: rewards are measured over
+	// [warmup, horizon] only.
+	warmup       float64
+	warmSnapped  bool
+	warmIntegral []float64
+	warmImpulses []float64
+}
+
+// NewRunner prepares a replication of model seeded with seed. It validates
+// the model and resets its marking.
+func NewRunner(model *Model, seed uint64) (*Runner, error) {
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("san: model %q invalid: %w", model.Name(), err)
+	}
+	model.reset()
+	r := &Runner{
+		model:    model,
+		kernel:   des.NewKernel(),
+		src:      rng.New(seed),
+		events:   make(map[*Activity]*des.Event),
+		rates:    make([]*stats.TimeWeighted, len(model.rates)),
+		impulses: make([]float64, len(model.impulses)),
+	}
+	for i := range r.rates {
+		r.rates[i] = &stats.TimeWeighted{}
+	}
+	for _, a := range model.activities {
+		if a.kind == Instantaneous {
+			r.instants = append(r.instants, a)
+		}
+	}
+	sort.SliceStable(r.instants, func(i, j int) bool {
+		if r.instants[i].priority != r.instants[j].priority {
+			return r.instants[i].priority < r.instants[j].priority
+		}
+		return r.instants[i].defined < r.instants[j].defined
+	})
+	return r, nil
+}
+
+// Run simulates the model over [0, horizon] and returns the measured
+// rewards. It returns an error if the model livelocks or a modeling error
+// (e.g. negative marking) is recorded during execution.
+func (r *Runner) Run(horizon float64) (Results, error) {
+	return r.RunInterval(0, horizon)
+}
+
+// RunInterval simulates over [0, horizon] but measures rewards over
+// [warmup, horizon] only, discarding the initial transient (rate rewards
+// are time-averaged over the measurement window; impulse rewards count
+// completions inside it).
+func (r *Runner) RunInterval(warmup, horizon float64) (Results, error) {
+	if horizon <= 0 {
+		return Results{}, fmt.Errorf("san: non-positive horizon %g", horizon)
+	}
+	if warmup < 0 || warmup >= horizon {
+		return Results{}, fmt.Errorf("san: warmup %g outside [0, horizon %g)", warmup, horizon)
+	}
+	r.warmup = warmup
+	r.warmIntegral = make([]float64, len(r.rates))
+	r.warmImpulses = make([]float64, len(r.impulses))
+	r.warmSnapped = warmup == 0
+	// Initial stabilization and activation.
+	if err := r.stabilize(); err != nil {
+		return Results{}, err
+	}
+	r.refresh()
+	r.observeRates()
+
+	// The measurement window is half-open: events scheduled at exactly the
+	// horizon do not fire (they would contribute zero measure to rate
+	// rewards but would skew impulse counts).
+	for r.failed == nil {
+		next := r.peekTime()
+		if next >= horizon || math.IsInf(next, 1) {
+			break
+		}
+		if !r.warmSnapped && next >= r.warmup {
+			// Snapshot before the first in-window event fires, so its
+			// impulses and marking changes land inside the window.
+			r.snapshotWarmup()
+		}
+		r.kernel.Step()
+	}
+	if r.failed != nil {
+		return Results{}, r.failed
+	}
+	if err := r.model.Err(); err != nil {
+		return Results{}, fmt.Errorf("san: model error during run: %w", err)
+	}
+
+	if !r.warmSnapped {
+		// The run ended before any event crossed the warmup point; the
+		// signal was constant since the last observation, so snapshot now.
+		r.snapshotWarmup()
+	}
+	res := Results{
+		Warmup:   warmup,
+		Horizon:  horizon,
+		Rates:    make(map[string]float64, len(r.model.rates)),
+		Impulses: make(map[string]float64, len(r.model.impulses)),
+		Events:   r.kernel.Fired(),
+		Firings:  r.firings,
+	}
+	window := horizon - warmup
+	for i, rr := range r.model.rates {
+		res.Rates[rr.Name] = (r.rates[i].IntegralAt(horizon) - r.warmIntegral[i]) / window
+	}
+	for i, ir := range r.model.impulses {
+		res.Impulses[ir.Name] = r.impulses[i] - r.warmImpulses[i]
+	}
+	return res, nil
+}
+
+// snapshotWarmup records the reward accumulators' state at the warmup
+// point. It must run before any observation past the warmup time.
+func (r *Runner) snapshotWarmup() {
+	for i := range r.rates {
+		r.warmIntegral[i] = r.rates[i].IntegralAt(r.warmup)
+	}
+	copy(r.warmImpulses, r.impulses)
+	r.warmSnapped = true
+}
+
+// peekTime returns the time of the next pending event, or +Inf.
+func (r *Runner) peekTime() float64 {
+	if r.kernel.Len() == 0 {
+		return math.Inf(1)
+	}
+	// The kernel has no direct peek; track via scheduled events.
+	min := math.Inf(1)
+	for _, ev := range r.events {
+		if ev.Pending() && ev.Time() < min {
+			min = ev.Time()
+		}
+	}
+	return min
+}
+
+// fire completes an activity: input-gate functions run first, then one case
+// is selected by weight and its output gate runs.
+func (r *Runner) fire(a *Activity) {
+	a.completed++
+	r.firings++
+	for _, fn := range a.inputFns {
+		fn()
+	}
+	c := r.chooseCase(a)
+	c.Output()
+	for i, ir := range r.model.impulses {
+		if ir.Activity == a {
+			r.impulses[i] += ir.Fn()
+		}
+	}
+}
+
+// chooseCase selects one case by normalized weight.
+func (r *Runner) chooseCase(a *Activity) Case {
+	if len(a.cases) == 1 {
+		return a.cases[0]
+	}
+	total := 0.0
+	weights := make([]float64, len(a.cases))
+	for i, c := range a.cases {
+		w := c.Weight()
+		if w < 0 {
+			r.fail(fmt.Errorf("san: negative case weight on %s", a.name))
+			w = 0
+		}
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		r.fail(fmt.Errorf("san: all case weights zero on %s", a.name))
+		return a.cases[0]
+	}
+	u := r.src.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return a.cases[i]
+		}
+	}
+	return a.cases[len(a.cases)-1]
+}
+
+// stabilize fires enabled instantaneous activities in (priority, definition)
+// order until none is enabled.
+func (r *Runner) stabilize() error {
+	for n := 0; ; n++ {
+		if n > stabilizeCap {
+			err := fmt.Errorf("san: instantaneous livelock in model %q at t=%g", r.model.Name(), r.kernel.Now())
+			r.fail(err)
+			return err
+		}
+		fired := false
+		for _, a := range r.instants {
+			if a.enabled() {
+				r.fire(a)
+				fired = true
+				break // restart the priority scan after each marking change
+			}
+		}
+		if !fired {
+			return nil
+		}
+	}
+}
+
+// refresh reconciles timed-activity activations with the current marking:
+// enabled-and-unscheduled activities get a sampled completion; scheduled-
+// but-disabled ones are aborted (race-enabled policy).
+func (r *Runner) refresh() {
+	for _, a := range r.model.activities {
+		if a.kind != Timed {
+			continue
+		}
+		ev, scheduled := r.events[a]
+		scheduled = scheduled && ev.Pending()
+		enabled := a.enabled()
+		switch {
+		case enabled && !scheduled:
+			delay := a.delay(r.src)
+			if delay < 0 || math.IsNaN(delay) {
+				r.fail(fmt.Errorf("san: activity %s sampled invalid delay %g", a.name, delay))
+				return
+			}
+			act := a
+			newEv, err := r.kernel.ScheduleAfter(delay, act.priority, act.name, func() {
+				r.complete(act)
+			})
+			if err != nil {
+				r.fail(err)
+				return
+			}
+			r.events[a] = newEv
+		case !enabled && scheduled:
+			r.kernel.Cancel(ev)
+			delete(r.events, a)
+		}
+	}
+}
+
+// complete is the kernel handler for a timed-activity completion.
+func (r *Runner) complete(a *Activity) {
+	delete(r.events, a)
+	r.fire(a)
+	if err := r.stabilize(); err != nil {
+		return
+	}
+	r.refresh()
+	r.observeRates()
+}
+
+// observeRates records the current value of every rate reward at the
+// current time.
+func (r *Runner) observeRates() {
+	now := r.kernel.Now()
+	for i, rr := range r.model.rates {
+		r.rates[i].Observe(now, rr.Fn())
+	}
+}
+
+// fail records a fatal execution error and halts the kernel.
+func (r *Runner) fail(err error) {
+	if r.failed == nil {
+		r.failed = err
+	}
+	r.kernel.Halt()
+}

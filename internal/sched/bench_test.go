@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"testing"
+
+	"vcpusim/internal/core"
+)
+
+// benchViews builds a mid-size system state for scheduler benchmarks.
+func benchViews() ([]core.VCPUView, []core.PCPUView) {
+	var vcpus []core.VCPUView
+	id := 0
+	for vm, size := range []int{2, 3, 2, 1} {
+		for k := 0; k < size; k++ {
+			vcpus = append(vcpus, core.VCPUView{
+				ID: id, VM: vm, Sibling: k, Status: core.Inactive, PCPU: -1,
+			})
+			id++
+		}
+	}
+	pcpus := make([]core.PCPUView, 4)
+	for p := range pcpus {
+		pcpus[p] = core.PCPUView{ID: p, VCPU: -1}
+	}
+	return vcpus, pcpus
+}
+
+func benchSchedule(b *testing.B, s core.Scheduler) {
+	b.Helper()
+	vcpus, pcpus := benchViews()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var acts core.Actions
+		s.Schedule(int64(i), vcpus, pcpus, &acts)
+	}
+}
+
+func BenchmarkRoundRobinSchedule(b *testing.B) { benchSchedule(b, NewRoundRobin(30)) }
+
+func BenchmarkStrictCoSchedule(b *testing.B) { benchSchedule(b, NewStrictCo(30)) }
+
+func BenchmarkRelaxedCoSchedule(b *testing.B) {
+	benchSchedule(b, NewRelaxedCo(RelaxedCoParams{Timeslice: 30}))
+}
+
+func BenchmarkBalanceSchedule(b *testing.B) { benchSchedule(b, NewBalance(30)) }
+
+func BenchmarkCreditSchedule(b *testing.B) {
+	benchSchedule(b, NewCredit(CreditParams{Timeslice: 30}))
+}

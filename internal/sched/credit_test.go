@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCreditName(t *testing.T) {
+	if got := NewCredit(CreditParams{Timeslice: 10}).Name(); got != "Credit" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestCreditDefaultsToEqualShares(t *testing.T) {
+	// Three 1-VCPU VMs on one PCPU, equal weights: equal shares.
+	h := newHarness(t, NewCredit(CreditParams{Timeslice: 10}), 1, 1, 1, 1)
+	h.run(6000)
+	for id := 0; id < 3; id++ {
+		h.assertShare(id, 1.0/3, 0.05)
+	}
+}
+
+func TestCreditWeightsSkewShares(t *testing.T) {
+	// VM0 weighted 3x: on one PCPU it should receive about 3/5 of the
+	// time against two weight-1 VMs.
+	c := NewCredit(CreditParams{
+		Timeslice: 10,
+		Weights:   map[int]float64{0: 3},
+	})
+	h := newHarness(t, c, 1, 1, 1, 1)
+	h.run(10000)
+	s := h.shares()
+	if s[0] < 0.5 || s[0] > 0.7 {
+		t.Fatalf("weighted VM share = %.3f, want ~0.6 (all %v)", s[0], fmtShares(s))
+	}
+	if s[1] > s[0] || s[2] > s[0] {
+		t.Fatalf("weight-1 VMs outran the weight-3 VM: %v", fmtShares(s))
+	}
+}
+
+func TestCreditSplitsVMShareAcrossVCPUs(t *testing.T) {
+	// A 2-VCPU VM and a 1-VCPU VM, equal weights, one PCPU: the VM share
+	// is split across its VCPUs, so each pair member gets ~25% and the
+	// single ~50%.
+	h := newHarness(t, NewCredit(CreditParams{Timeslice: 10}), 1, 2, 1)
+	h.run(10000)
+	h.assertShare(0, 0.25, 0.06)
+	h.assertShare(1, 0.25, 0.06)
+	h.assertShare(2, 0.5, 0.06)
+}
+
+func TestCreditFullProvisioning(t *testing.T) {
+	h := newHarness(t, NewCredit(CreditParams{Timeslice: 10}), 3, 1, 1, 1)
+	h.run(500)
+	for id := 0; id < 3; id++ {
+		h.assertShare(id, 1, 0.01)
+	}
+}
+
+func TestCreditAccessorBounds(t *testing.T) {
+	c := NewCredit(CreditParams{Timeslice: 10})
+	if c.Credits(0) != 0 || c.Credits(-1) != 0 {
+		t.Fatal("uninitialized credits should be 0")
+	}
+}
+
+func TestRegistryKnownNames(t *testing.T) {
+	for _, name := range []string{"RRS", "rrs", "SCS", "RCS", "Balance", "credit", "Round-Robin"} {
+		f, err := Factory(name, Params{Timeslice: 10})
+		if err != nil {
+			t.Errorf("Factory(%q): %v", name, err)
+			continue
+		}
+		if s := f(); s == nil || s.Name() == "" {
+			t.Errorf("Factory(%q) built a bad scheduler", name)
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := Factory("nope", Params{Timeslice: 10})
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error %q does not name the input", err)
+	}
+}
+
+func TestRegistryRejectsBadTimeslice(t *testing.T) {
+	if _, err := Factory("RRS", Params{}); err == nil {
+		t.Fatal("zero timeslice accepted")
+	}
+}
+
+func TestRegistryFreshInstances(t *testing.T) {
+	f, err := Factory("RRS", Params{Timeslice: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f() == f() {
+		t.Fatal("factory returned a shared instance")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 6 {
+		t.Fatalf("Names() = %v", names)
+	}
+	for _, n := range names {
+		if _, err := Factory(n, Params{Timeslice: 10}); err != nil {
+			t.Errorf("registered name %q does not resolve: %v", n, err)
+		}
+	}
+}

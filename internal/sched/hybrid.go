@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vcpusim/internal/core"
+)
+
+// Hybrid implements the hybrid scheduling framework of Weng et al. (VEE
+// 2009), which the paper's related-work section discusses: VMs marked
+// *concurrent* (parallel workloads that suffer from synchronization
+// latency) are gang-scheduled with strict co-start/co-stop, while the
+// remaining VMs' VCPUs are scheduled individually, round-robin, filling
+// the PCPUs the gangs leave free. This captures the practical middle
+// ground between the paper's SCS (all VMs gang-scheduled, heavy
+// fragmentation) and RRS (no co-scheduling at all).
+type Hybrid struct {
+	timeslice  int64
+	concurrent map[int]bool
+	next       int // round-robin pointer over schedulable entities
+}
+
+var _ core.Scheduler = (*Hybrid)(nil)
+
+// HybridParams configures the hybrid scheduler.
+type HybridParams struct {
+	// Timeslice is the per-assignment timeslice in ticks.
+	Timeslice int64
+	// ConcurrentVMs lists the VM indices to gang-schedule.
+	ConcurrentVMs []int
+}
+
+// NewHybrid returns a hybrid scheduler.
+func NewHybrid(p HybridParams) *Hybrid {
+	conc := make(map[int]bool, len(p.ConcurrentVMs))
+	for _, vm := range p.ConcurrentVMs {
+		conc[vm] = true
+	}
+	return &Hybrid{timeslice: p.Timeslice, concurrent: conc}
+}
+
+// Name implements core.Scheduler.
+func (h *Hybrid) Name() string {
+	if len(h.concurrent) == 0 {
+		return "Hybrid"
+	}
+	vms := make([]string, 0, len(h.concurrent))
+	for vm := range h.concurrent {
+		vms = append(vms, fmt.Sprintf("%d", vm))
+	}
+	sort.Strings(vms)
+	return "Hybrid(co:" + strings.Join(vms, ",") + ")"
+}
+
+// entity is one schedulable unit: a whole gang or a single VCPU.
+type entity struct {
+	vcpus []int
+}
+
+// Schedule implements core.Scheduler.
+func (h *Hybrid) Schedule(_ int64, vcpus []core.VCPUView, pcpus []core.PCPUView, acts *core.Actions) {
+	byVM := core.SiblingsOf(vcpus)
+	vms := sortedVMs(byVM)
+	var entities []entity
+	for _, vm := range vms {
+		if h.concurrent[vm] {
+			entities = append(entities, entity{vcpus: byVM[vm]})
+			continue
+		}
+		for _, id := range byVM[vm] {
+			entities = append(entities, entity{vcpus: []int{id}})
+		}
+	}
+	if len(entities) == 0 {
+		return
+	}
+	h.next %= len(entities)
+
+	idle := core.IdlePCPUs(pcpus)
+	scheduledFirst := -1
+	for i := 0; i < len(entities) && len(idle) > 0; i++ {
+		pos := (h.next + i) % len(entities)
+		e := entities[pos]
+		if len(e.vcpus) > len(idle) || !allInactive(e.vcpus, vcpus) {
+			continue
+		}
+		for j, id := range e.vcpus {
+			acts.Assign(id, idle[j], h.timeslice)
+		}
+		idle = idle[len(e.vcpus):]
+		if scheduledFirst < 0 {
+			scheduledFirst = pos
+		}
+	}
+	if scheduledFirst >= 0 {
+		h.next = (scheduledFirst + 1) % len(entities)
+	}
+}

@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"testing"
+
+	"vcpusim/internal/core"
+)
+
+func newRCS(ts, enter, exit int64) *RelaxedCo {
+	return NewRelaxedCo(RelaxedCoParams{Timeslice: ts, EnterSkew: enter, ExitSkew: exit})
+}
+
+func TestRelaxedCoName(t *testing.T) {
+	if got := NewRelaxedCo(RelaxedCoParams{Timeslice: 10}).Name(); got != "RCS" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestRelaxedCoDefaults(t *testing.T) {
+	r := NewRelaxedCo(RelaxedCoParams{Timeslice: 30})
+	if r.enterSkew != 10 || r.exitSkew != 5 {
+		t.Fatalf("defaults enter=%d exit=%d, want 10/5", r.enterSkew, r.exitSkew)
+	}
+	// Tiny timeslices still give positive thresholds.
+	r = NewRelaxedCo(RelaxedCoParams{Timeslice: 1})
+	if r.enterSkew < 1 || r.exitSkew < 0 {
+		t.Fatalf("tiny timeslice thresholds enter=%d exit=%d", r.enterSkew, r.exitSkew)
+	}
+}
+
+func TestRelaxedCoSingleStartWhenCoStartImpossible(t *testing.T) {
+	// Unlike SCS, RCS schedules a 2-VCPU VM on one PCPU via single starts.
+	h := newHarness(t, newRCS(30, 10, 5), 1, 2)
+	h.run(100)
+	if h.vcpus[0].Runtime == 0 && h.vcpus[1].Runtime == 0 {
+		t.Fatal("RCS never single-started the gang on one PCPU")
+	}
+}
+
+func TestRelaxedCoFigure8Penalty(t *testing.T) {
+	// The paper's Figure 8 one-PCPU observation: the 2-VCPU VM runs but
+	// its VCPUs receive clearly less than the 1-VCPU VMs'.
+	h := newHarness(t, newRCS(30, 10, 5), 1, 2, 1, 1)
+	h.run(12000)
+	s := h.shares()
+	pair := (s[0] + s[1]) / 2
+	singles := (s[2] + s[3]) / 2
+	if pair <= 0 {
+		t.Fatalf("pair starved entirely: %v", fmtShares(s))
+	}
+	if pair >= singles*0.8 {
+		t.Fatalf("no skew penalty: pair %.3f vs singles %.3f", pair, singles)
+	}
+}
+
+func TestRelaxedCoFairWhenProvisioned(t *testing.T) {
+	// With PCPUs = VCPUs everyone runs constantly; no skew accrues.
+	h := newHarness(t, newRCS(30, 10, 5), 4, 2, 1, 1)
+	h.run(1000)
+	for id := 0; id < 4; id++ {
+		h.assertShare(id, 1, 0.01)
+	}
+}
+
+func TestRelaxedCoFairPairOfPairs(t *testing.T) {
+	// Two 2-VCPU VMs on 2 PCPUs: natural co-run alternation, no skew.
+	h := newHarness(t, newRCS(30, 10, 5), 2, 2, 2)
+	h.run(4000)
+	for id := 0; id < 4; id++ {
+		h.assertShare(id, 0.5, 0.03)
+	}
+}
+
+func TestRelaxedCoSkewAccrualAndDecay(t *testing.T) {
+	r := newRCS(10, 100, 50) // thresholds high enough to stay out of co-mode
+	vcpus := []core.VCPUView{
+		{ID: 0, VM: 0, Sibling: 0, Status: core.Ready, PCPU: 0},
+		{ID: 1, VM: 0, Sibling: 1, Status: core.Inactive, PCPU: -1},
+	}
+	pcpus := []core.PCPUView{{ID: 0, VCPU: 0}}
+	for i := 0; i < 5; i++ {
+		var acts core.Actions
+		r.Schedule(int64(i), vcpus, pcpus, &acts)
+	}
+	if got := r.Skew(1); got != 5 {
+		t.Fatalf("skew after 5 starved ticks = %d, want 5", got)
+	}
+	if got := r.Skew(0); got != 0 {
+		t.Fatalf("running VCPU skew = %d, want 0", got)
+	}
+	// Whole gang stopped: skew decays. Keep the PCPU marked busy so the
+	// assignment phase stays idle and only the skew update runs.
+	vcpus[0].Status = core.Inactive
+	vcpus[0].PCPU = -1
+	pcpus[0].VCPU = 99
+	for i := 5; i < 8; i++ {
+		var acts core.Actions
+		r.Schedule(int64(i), vcpus, pcpus, &acts)
+	}
+	if got := r.Skew(1); got != 2 {
+		t.Fatalf("skew after 3 decay ticks = %d, want 2", got)
+	}
+}
+
+func TestRelaxedCoCoStopPreemptsRunner(t *testing.T) {
+	// One PCPU, gang of two: once the descheduled sibling's skew crosses
+	// the enter threshold, the running sibling must be co-stopped.
+	r := newRCS(100, 5, 2)
+	h := newHarness(t, r, 1, 2)
+	// v0 gets the PCPU at t=0 (queue head). With enter skew 5, the
+	// co-stop must strike well before the 100-tick timeslice.
+	for i := 0; i < 100; i++ {
+		h.tick()
+		if !h.active(0) && h.now > 1 {
+			if h.now >= 100 {
+				t.Fatal("co-stop never happened")
+			}
+			if h.vcpus[0].Runtime > 10 {
+				t.Fatalf("co-stop too late: runtime %d with enter skew 5", h.vcpus[0].Runtime)
+			}
+			return
+		}
+	}
+	t.Fatal("v0 ran the full horizon despite sibling starvation")
+}
+
+func TestRelaxedCoForcedCoStart(t *testing.T) {
+	// 2 PCPUs, one gang of two plus two singles. Drive the gang into
+	// co-mode, then verify the gang returns only via a co-start (both
+	// siblings in the same tick).
+	r := newRCS(20, 5, 2)
+	h := newHarness(t, r, 2, 2, 1, 1)
+	sawSplitStart := false
+	prevActive := [2]bool{}
+	for i := 0; i < 2000; i++ {
+		h.tick()
+		nowActive := [2]bool{h.active(0), h.active(1)}
+		// Find gang transitions from fully inactive to partially active
+		// while in co-mode.
+		if r.coMode != nil && r.coMode[0] {
+			if !prevActive[0] && !prevActive[1] && (nowActive[0] != nowActive[1]) {
+				sawSplitStart = true
+			}
+		}
+		prevActive = nowActive
+	}
+	if sawSplitStart {
+		t.Fatal("gang single-started while in co-mode (forced co-start violated)")
+	}
+	if h.vcpus[0].Runtime == 0 {
+		t.Fatal("gang never ran")
+	}
+}
+
+func TestRelaxedCoOpportunisticCoStart(t *testing.T) {
+	// Out of co-mode with enough idle PCPUs, a fully inactive gang is
+	// co-started in one tick.
+	r := newRCS(10, 50, 25)
+	h := newHarness(t, r, 2, 2)
+	h.tick()
+	if !h.active(0) || !h.active(1) {
+		t.Fatal("gang not co-started with ample PCPUs")
+	}
+	if h.vcpus[0].LastScheduledIn != h.vcpus[1].LastScheduledIn {
+		t.Fatal("gang members started at different times")
+	}
+}
+
+func TestRelaxedCoSkewAccessorBounds(t *testing.T) {
+	r := newRCS(10, 5, 2)
+	if r.Skew(-1) != 0 || r.Skew(99) != 0 {
+		t.Fatal("out-of-range skew should be 0")
+	}
+}

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vcpusim/internal/core"
+)
+
+// Params carries the knobs shared by the built-in algorithms when
+// constructed by name.
+type Params struct {
+	// Timeslice is the per-assignment timeslice in ticks.
+	Timeslice int64
+	// EnterSkew / ExitSkew configure RCS (zero selects defaults).
+	EnterSkew int64
+	ExitSkew  int64
+	// Weights configures the Credit scheduler (per-VM shares).
+	Weights map[int]float64
+	// ConcurrentVMs configures the Hybrid scheduler (VM indices to
+	// gang-schedule).
+	ConcurrentVMs []int
+}
+
+// Names returns the registered algorithm names in stable order.
+func Names() []string {
+	names := []string{"RRS", "SCS", "RCS", "Balance", "Credit", "Hybrid"}
+	sort.Strings(names)
+	return names
+}
+
+// Factory returns a core.SchedulerFactory for the named algorithm
+// ("RRS", "SCS", "RCS", "Balance", "Credit", or "Hybrid";
+// case-insensitive). It returns an error for unknown names or invalid
+// parameters.
+func Factory(name string, p Params) (core.SchedulerFactory, error) {
+	if p.Timeslice < 1 {
+		return nil, fmt.Errorf("sched: timeslice must be at least one tick, got %d", p.Timeslice)
+	}
+	switch strings.ToUpper(name) {
+	case "RRS", "ROUNDROBIN", "ROUND-ROBIN":
+		return func() core.Scheduler { return NewRoundRobin(p.Timeslice) }, nil
+	case "SCS", "STRICTCO", "STRICT-CO":
+		return func() core.Scheduler { return NewStrictCo(p.Timeslice) }, nil
+	case "RCS", "RELAXEDCO", "RELAXED-CO":
+		return func() core.Scheduler {
+			return NewRelaxedCo(RelaxedCoParams{
+				Timeslice: p.Timeslice,
+				EnterSkew: p.EnterSkew,
+				ExitSkew:  p.ExitSkew,
+			})
+		}, nil
+	case "BALANCE":
+		return func() core.Scheduler { return NewBalance(p.Timeslice) }, nil
+	case "CREDIT":
+		return func() core.Scheduler {
+			return NewCredit(CreditParams{Timeslice: p.Timeslice, Weights: p.Weights})
+		}, nil
+	case "HYBRID":
+		return func() core.Scheduler {
+			return NewHybrid(HybridParams{Timeslice: p.Timeslice, ConcurrentVMs: p.ConcurrentVMs})
+		}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown algorithm %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+}

@@ -1,0 +1,140 @@
+// Package sched implements VCPU scheduling algorithms behind the
+// framework's pluggable scheduling-function interface (core.Scheduler): the
+// paper's three evaluated algorithms — Round-Robin (RRS), Strict
+// Co-Scheduling (SCS), and Relaxed Co-Scheduling (RCS) — plus two
+// extensions, Balance scheduling (Sukwong & Kim) and a proportional-share
+// Credit scheduler.
+//
+// All schedulers are single-replication objects: construct a fresh one per
+// run through a core.SchedulerFactory.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"vcpusim/internal/core"
+)
+
+// RoundRobin is the naïve Round-Robin VCPU scheduler (the paper's RRS): a
+// circular cursor over all VCPUs; every idle PCPU is granted to the next
+// waiting VCPU after the cursor with a fresh timeslice, regardless of VM
+// topology. The rotating cursor guarantees the long-run fairness the
+// paper's Figure 8 attributes to RRS: when several VCPUs deschedule in the
+// same tick, the grant order continues from where the last round stopped
+// instead of restarting at VCPU 0.
+type RoundRobin struct {
+	timeslice int64
+	cursor    int
+}
+
+var _ core.Scheduler = (*RoundRobin)(nil)
+
+// NewRoundRobin returns an RRS scheduler granting the given timeslice per
+// assignment.
+func NewRoundRobin(timeslice int64) *RoundRobin {
+	return &RoundRobin{timeslice: timeslice}
+}
+
+// Name implements core.Scheduler.
+func (r *RoundRobin) Name() string { return "RRS" }
+
+// Schedule implements core.Scheduler.
+func (r *RoundRobin) Schedule(_ int64, vcpus []core.VCPUView, pcpus []core.PCPUView, acts *core.Actions) {
+	if len(vcpus) == 0 {
+		return
+	}
+	r.cursor %= len(vcpus)
+	idle := core.IdlePCPUs(pcpus)
+	scanned := 0
+	for _, p := range idle {
+		assigned := false
+		for ; scanned < len(vcpus); scanned++ {
+			id := (r.cursor + scanned) % len(vcpus)
+			if vcpus[id].Status == core.Inactive {
+				acts.Assign(id, p, r.timeslice)
+				scanned++
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			break
+		}
+	}
+	r.cursor = (r.cursor + scanned) % len(vcpus)
+}
+
+// vcpuQueue is a FIFO of waiting VCPUs with set semantics: a VCPU appears
+// at most once. Shared by the queue-based schedulers.
+type vcpuQueue struct {
+	order  []int
+	member map[int]bool
+}
+
+func newVCPUQueue() *vcpuQueue {
+	return &vcpuQueue{member: make(map[int]bool)}
+}
+
+// admitInactive appends every INACTIVE VCPU not yet queued. VCPUs admitted
+// in the same call are ordered least-served first (ascending cumulative
+// Runtime, then ID): when several VCPUs deschedule in the same tick, naive
+// ID order would systematically favor low IDs at every synchronized
+// expiry wave.
+func (q *vcpuQueue) admitInactive(vcpus []core.VCPUView) {
+	var fresh []core.VCPUView
+	for _, v := range vcpus {
+		if v.Status == core.Inactive && !q.member[v.ID] {
+			fresh = append(fresh, v)
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool {
+		if fresh[i].Runtime != fresh[j].Runtime {
+			return fresh[i].Runtime < fresh[j].Runtime
+		}
+		return fresh[i].ID < fresh[j].ID
+	})
+	for _, v := range fresh {
+		q.push(v.ID)
+	}
+}
+
+func (q *vcpuQueue) push(id int) {
+	if q.member[id] {
+		return
+	}
+	q.order = append(q.order, id)
+	q.member[id] = true
+}
+
+func (q *vcpuQueue) pop() (int, bool) {
+	if len(q.order) == 0 {
+		return 0, false
+	}
+	id := q.order[0]
+	q.order = q.order[1:]
+	delete(q.member, id)
+	return id, true
+}
+
+// remove deletes id from the queue wherever it is.
+func (q *vcpuQueue) remove(id int) {
+	if !q.member[id] {
+		return
+	}
+	for i, v := range q.order {
+		if v == id {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			break
+		}
+	}
+	delete(q.member, id)
+}
+
+// len returns the number of queued VCPUs.
+func (q *vcpuQueue) len() int { return len(q.order) }
+
+// snapshot returns the queue contents head-first.
+func (q *vcpuQueue) snapshot() []int { return append([]int(nil), q.order...) }
+
+func (q *vcpuQueue) String() string { return fmt.Sprint(q.order) }

@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"testing"
+
+	"vcpusim/internal/core"
+)
+
+func TestStrictCoName(t *testing.T) {
+	if got := NewStrictCo(10).Name(); got != "SCS" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestStrictCoAllOrNothing(t *testing.T) {
+	// 2-VCPU VM + two singles on 2 PCPUs: the gang is only ever fully
+	// scheduled or fully descheduled.
+	h := newHarness(t, NewStrictCo(5), 2, 2, 1, 1)
+	for i := 0; i < 200; i++ {
+		h.tick()
+		a0, a1 := h.active(0), h.active(1)
+		if a0 != a1 {
+			t.Fatalf("t=%d: gang split: v0 active=%v v1 active=%v", h.now, a0, a1)
+		}
+	}
+}
+
+func TestStrictCoStarvesOversizedGang(t *testing.T) {
+	// A 2-VCPU VM on one PCPU can never gather enough resources
+	// (Figure 8's one-PCPU pathology).
+	h := newHarness(t, NewStrictCo(5), 1, 2, 1, 1)
+	h.run(1000)
+	if h.vcpus[0].Runtime != 0 || h.vcpus[1].Runtime != 0 {
+		t.Fatalf("oversized gang ran: runtimes %d/%d", h.vcpus[0].Runtime, h.vcpus[1].Runtime)
+	}
+	// The singles split the PCPU evenly.
+	h.assertShare(2, 0.5, 0.02)
+	h.assertShare(3, 0.5, 0.02)
+}
+
+func TestStrictCoBackfill(t *testing.T) {
+	// Gangs of 2 and 1 on 3 PCPUs: both fit simultaneously, filling all
+	// three PCPUs, plus another single backfills the fourth when present.
+	h := newHarness(t, NewStrictCo(5), 3, 2, 1)
+	h.tick()
+	used := 0
+	for _, p := range h.pcpus {
+		if p.VCPU >= 0 {
+			used++
+		}
+	}
+	if used != 3 {
+		t.Fatalf("backfill used %d PCPUs, want 3", used)
+	}
+}
+
+func TestStrictCoGangTimeslicesEqual(t *testing.T) {
+	// Siblings must co-stop: they are always granted identical
+	// timeslices.
+	s := NewStrictCo(7)
+	vcpus := []core.VCPUView{
+		{ID: 0, VM: 0, Sibling: 0, Status: core.Inactive, PCPU: -1},
+		{ID: 1, VM: 0, Sibling: 1, Status: core.Inactive, PCPU: -1},
+	}
+	pcpus := []core.PCPUView{{ID: 0, VCPU: -1}, {ID: 1, VCPU: -1}}
+	var acts core.Actions
+	s.Schedule(0, vcpus, pcpus, &acts)
+	assigns := acts.Assigns()
+	if len(assigns) != 2 {
+		t.Fatalf("assigned %d, want the whole gang", len(assigns))
+	}
+	if assigns[0].Timeslice != assigns[1].Timeslice {
+		t.Fatalf("gang timeslices differ: %d vs %d", assigns[0].Timeslice, assigns[1].Timeslice)
+	}
+}
+
+func TestStrictCoRoundRobinOverVMs(t *testing.T) {
+	// Two 2-VCPU VMs on 2 PCPUs must alternate slices, each getting half.
+	h := newHarness(t, NewStrictCo(5), 2, 2, 2)
+	h.run(2000)
+	for id := 0; id < 4; id++ {
+		h.assertShare(id, 0.5, 0.02)
+	}
+}
+
+func TestStrictCoSet2Alternation(t *testing.T) {
+	// The paper's set 2 (2+3 VCPUs, 4 PCPUs): the VMs cannot co-run, so
+	// each is scheduled half the time (PCPU utilization 62.5%).
+	h := newHarness(t, NewStrictCo(10), 4, 2, 3)
+	h.run(4000)
+	for id := 0; id < 5; id++ {
+		h.assertShare(id, 0.5, 0.03)
+	}
+	// Never more than one gang at a time.
+	for i := 0; i < 100; i++ {
+		h.tick()
+		if h.active(0) && h.active(2) {
+			t.Fatal("both gangs scheduled simultaneously on 4 PCPUs (2+3 VCPUs)")
+		}
+	}
+}
+
+func TestStrictCoSkipsPartiallyActiveVM(t *testing.T) {
+	// Defensive: if a gang is somehow half-running (not reachable under
+	// SCS alone), the scheduler must not co-start it again.
+	s := NewStrictCo(5)
+	vcpus := []core.VCPUView{
+		{ID: 0, VM: 0, Sibling: 0, Status: core.Ready, PCPU: 0},
+		{ID: 1, VM: 0, Sibling: 1, Status: core.Inactive, PCPU: -1},
+	}
+	pcpus := []core.PCPUView{{ID: 0, VCPU: 0}, {ID: 1, VCPU: -1}}
+	var acts core.Actions
+	s.Schedule(0, vcpus, pcpus, &acts)
+	if !acts.Empty() {
+		t.Fatalf("scheduled a partially active gang: %+v", acts.Assigns())
+	}
+}
+
+func TestStrictCoNoIdlePCPUs(t *testing.T) {
+	s := NewStrictCo(5)
+	vcpus := []core.VCPUView{{ID: 0, VM: 0, Status: core.Inactive, PCPU: -1}}
+	pcpus := []core.PCPUView{{ID: 0, VCPU: 7}}
+	var acts core.Actions
+	s.Schedule(0, vcpus, pcpus, &acts)
+	if !acts.Empty() {
+		t.Fatal("actions with no idle PCPUs")
+	}
+}

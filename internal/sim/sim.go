@@ -1,0 +1,278 @@
+// Package sim runs simulation experiments as sequences of independent
+// replications with confidence-interval controlled stopping, replacing the
+// Möbius simulation executive the paper relies on: replications run in
+// parallel, results are aggregated per reward variable, and the experiment
+// stops once every tracked metric's relative confidence-interval half-width
+// drops below the target (the paper reports 95 % confidence with <0.1
+// intervals) or the replication budget is exhausted.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vcpusim/internal/rng"
+	"vcpusim/internal/stats"
+)
+
+// Replicator produces the reward-variable values of one replication.
+// Implementations must be safe for concurrent invocation with distinct
+// seeds (each call builds its own model).
+type Replicator func(rep int, seed uint64) (map[string]float64, error)
+
+// Options controls an experiment run. Zero values select the defaults
+// documented per field.
+type Options struct {
+	// Level is the confidence level; default 0.95.
+	Level float64
+	// RelWidth is the target relative CI half-width; default 0.1 (the
+	// paper's setting).
+	RelWidth float64
+	// MinReps is the minimum number of replications; default 10.
+	MinReps int
+	// MaxReps bounds the number of replications; default 100.
+	MaxReps int
+	// Parallelism is the number of concurrent replications; default
+	// GOMAXPROCS.
+	Parallelism int
+	// Seed derives every replication's seed deterministically; the same
+	// seed reproduces the experiment regardless of parallelism.
+	Seed uint64
+	// StopMetrics lists the metrics whose CIs gate stopping; empty means
+	// every observed metric.
+	StopMetrics []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Level == 0 {
+		o.Level = 0.95
+	}
+	if o.RelWidth == 0 {
+		o.RelWidth = 0.1
+	}
+	if o.MinReps == 0 {
+		o.MinReps = 10
+	}
+	if o.MaxReps == 0 {
+		o.MaxReps = 100
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Level <= 0 || o.Level >= 1 {
+		return fmt.Errorf("sim: confidence level %g out of (0,1)", o.Level)
+	}
+	if o.RelWidth <= 0 {
+		return fmt.Errorf("sim: non-positive target CI width %g", o.RelWidth)
+	}
+	if o.MinReps < 2 {
+		return fmt.Errorf("sim: need at least two replications, got min %d", o.MinReps)
+	}
+	if o.MaxReps < o.MinReps {
+		return fmt.Errorf("sim: max replications %d below min %d", o.MaxReps, o.MinReps)
+	}
+	if o.Parallelism < 1 {
+		return fmt.Errorf("sim: non-positive parallelism %d", o.Parallelism)
+	}
+	return nil
+}
+
+// Summary aggregates an experiment's replications.
+type Summary struct {
+	// Metrics holds the confidence interval of every reward variable.
+	Metrics map[string]stats.Interval
+	// Replications is the number of replications executed.
+	Replications int
+	// Converged reports whether the CI target was met (as opposed to
+	// exhausting MaxReps).
+	Converged bool
+	// Level echoes the confidence level.
+	Level float64
+}
+
+// Metric returns the interval for a metric name and whether it exists.
+func (s Summary) Metric(name string) (stats.Interval, bool) {
+	iv, ok := s.Metrics[name]
+	return iv, ok
+}
+
+// Mean returns the mean of a metric, or 0 if absent.
+func (s Summary) Mean(name string) float64 {
+	return s.Metrics[name].Mean
+}
+
+// MetricNames returns the observed metric names sorted.
+func (s Summary) MetricNames() []string {
+	names := make([]string, 0, len(s.Metrics))
+	for n := range s.Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes replications of rep until the stopping rule is satisfied.
+// It is deterministic for a given Options.Seed: per-replication seeds are
+// pre-derived, so parallel and serial execution produce identical
+// aggregates.
+func Run(ctx context.Context, rep Replicator, opts Options) (Summary, error) {
+	if rep == nil {
+		return Summary{}, fmt.Errorf("sim: nil replicator")
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return Summary{}, err
+	}
+
+	// Pre-derive every replication seed from the experiment seed.
+	seeds := make([]uint64, opts.MaxReps)
+	src := rng.New(opts.Seed)
+	for i := range seeds {
+		seeds[i] = src.Uint64()
+	}
+
+	acc := make(map[string]*stats.Welford)
+	done := 0
+	converged := false
+
+	for done < opts.MaxReps && !converged {
+		if err := ctx.Err(); err != nil {
+			return Summary{}, fmt.Errorf("sim: cancelled after %d replications: %w", done, err)
+		}
+		batch := opts.Parallelism
+		if remaining := opts.MaxReps - done; batch > remaining {
+			batch = remaining
+		}
+		if done < opts.MinReps && done+batch > opts.MinReps {
+			// Run exactly up to MinReps before first convergence check
+			// unless the batch already covers it.
+			batch = opts.MinReps - done
+		}
+		results, err := runBatch(rep, seeds[done:done+batch], done)
+		if err != nil {
+			return Summary{}, err
+		}
+		for _, r := range results {
+			for name, v := range r {
+				w := acc[name]
+				if w == nil {
+					w = &stats.Welford{}
+					acc[name] = w
+				}
+				w.Add(v)
+			}
+		}
+		done += batch
+		if done >= opts.MinReps {
+			converged = convergedAll(acc, opts)
+		}
+	}
+
+	out := Summary{
+		Metrics:      make(map[string]stats.Interval, len(acc)),
+		Replications: done,
+		Converged:    converged,
+		Level:        opts.Level,
+	}
+	for name, w := range acc {
+		out.Metrics[name] = w.CI(opts.Level)
+	}
+	return out, nil
+}
+
+// runBatch executes one batch of replications concurrently, preserving
+// replication order in the returned slice.
+func runBatch(rep Replicator, seeds []uint64, base int) ([]map[string]float64, error) {
+	results := make([]map[string]float64, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i := range seeds {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := rep(base+i, seeds[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("sim: replication %d: %w", base+i, err)
+				return
+			}
+			results[i] = r
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// BatchMeans estimates steady-state metrics from one long run split into
+// batches (the method of batch means): each element of batches is the
+// metric map of one window (e.g. from fastsim's RunWindowed), treated as
+// one observation. With windows long enough that autocorrelation between
+// them is negligible, the Student-t intervals are valid; the caller is
+// responsible for discarding the initial transient and choosing the batch
+// length. At least two batches are required.
+func BatchMeans(batches []map[string]float64, level float64) (Summary, error) {
+	if len(batches) < 2 {
+		return Summary{}, fmt.Errorf("sim: batch means needs at least two batches, got %d", len(batches))
+	}
+	if level <= 0 || level >= 1 {
+		return Summary{}, fmt.Errorf("sim: confidence level %g out of (0,1)", level)
+	}
+	acc := make(map[string]*stats.Welford)
+	for _, b := range batches {
+		for name, v := range b {
+			w := acc[name]
+			if w == nil {
+				w = &stats.Welford{}
+				acc[name] = w
+			}
+			w.Add(v)
+		}
+	}
+	out := Summary{
+		Metrics:      make(map[string]stats.Interval, len(acc)),
+		Replications: len(batches),
+		Converged:    true,
+		Level:        level,
+	}
+	for name, w := range acc {
+		out.Metrics[name] = w.CI(level)
+	}
+	return out, nil
+}
+
+// convergedAll reports whether every tracked metric meets the CI target.
+func convergedAll(acc map[string]*stats.Welford, opts Options) bool {
+	check := func(w *stats.Welford) bool {
+		return w.CI(opts.Level).RelHalfWidth() < opts.RelWidth
+	}
+	if len(opts.StopMetrics) > 0 {
+		for _, name := range opts.StopMetrics {
+			w, ok := acc[name]
+			if !ok || !check(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if len(acc) == 0 {
+		return false
+	}
+	for _, w := range acc {
+		if !check(w) {
+			return false
+		}
+	}
+	return true
+}

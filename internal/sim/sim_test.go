@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"vcpusim/internal/rng"
+)
+
+// noisyReplicator produces a metric with mean `mean` and bounded noise
+// derived deterministically from the seed.
+func noisyReplicator(mean, noise float64) Replicator {
+	return func(_ int, seed uint64) (map[string]float64, error) {
+		src := rng.New(seed)
+		return map[string]float64{
+			"m": mean + noise*(src.Float64()-0.5),
+		}, nil
+	}
+}
+
+func TestRunConverges(t *testing.T) {
+	sum, err := Run(context.Background(), noisyReplicator(10, 1), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, ok := sum.Metric("m")
+	if !ok {
+		t.Fatal("metric missing")
+	}
+	if math.Abs(iv.Mean-10) > 0.5 {
+		t.Fatalf("mean = %g, want ~10", iv.Mean)
+	}
+	if !sum.Converged {
+		t.Error("low-noise experiment did not converge")
+	}
+	if sum.Replications < 10 {
+		t.Errorf("replications = %d, below MinReps", sum.Replications)
+	}
+	if iv.RelHalfWidth() >= 0.1 {
+		t.Errorf("relative half-width %g above target", iv.RelHalfWidth())
+	}
+	if sum.Level != 0.95 {
+		t.Errorf("level = %g, want default 0.95", sum.Level)
+	}
+}
+
+func TestRunStopsAtMaxReps(t *testing.T) {
+	// Very noisy metric with a tight target: must exhaust MaxReps.
+	opts := Options{Seed: 1, RelWidth: 1e-6, MinReps: 5, MaxReps: 17}
+	sum, err := Run(context.Background(), noisyReplicator(1, 10), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Converged {
+		t.Error("noisy experiment claims convergence")
+	}
+	if sum.Replications != 17 {
+		t.Errorf("replications = %d, want MaxReps 17", sum.Replications)
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallelism int) Summary {
+		sum, err := Run(context.Background(), noisyReplicator(5, 2), Options{
+			Seed: 42, MinReps: 12, MaxReps: 12, RelWidth: 1e-9, Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial.Replications != parallel.Replications {
+		t.Fatalf("replication counts differ: %d vs %d", serial.Replications, parallel.Replications)
+	}
+	a, b := serial.Metrics["m"], parallel.Metrics["m"]
+	if math.Abs(a.Mean-b.Mean) > 1e-12 || math.Abs(a.HalfWidth-b.HalfWidth) > 1e-12 {
+		t.Fatalf("parallel result differs: %v vs %v", a, b)
+	}
+}
+
+func TestRunSeedsDistinct(t *testing.T) {
+	var mu atomic.Int64
+	seen := make(chan uint64, 64)
+	rep := func(_ int, seed uint64) (map[string]float64, error) {
+		mu.Add(1)
+		seen <- seed
+		return map[string]float64{"m": 1}, nil
+	}
+	_, err := Run(context.Background(), rep, Options{Seed: 3, MinReps: 10, MaxReps: 10, RelWidth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(seen)
+	got := map[uint64]bool{}
+	for s := range seen {
+		if got[s] {
+			t.Fatalf("seed %d reused", s)
+		}
+		got[s] = true
+	}
+	if len(got) != 10 {
+		t.Fatalf("saw %d distinct seeds, want 10", len(got))
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	rep := func(i int, _ uint64) (map[string]float64, error) {
+		if i == 3 {
+			return nil, boom
+		}
+		return map[string]float64{"m": 1}, nil
+	}
+	_, err := Run(context.Background(), rep, Options{Seed: 1})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestRunNilReplicator(t *testing.T) {
+	if _, err := Run(context.Background(), nil, Options{}); err == nil {
+		t.Fatal("nil replicator accepted")
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep := noisyReplicator(1, 1)
+	if _, err := Run(ctx, rep, Options{Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	rep := noisyReplicator(1, 1)
+	cases := []Options{
+		{Level: 1.5},
+		{Level: -0.1},
+		{RelWidth: -1},
+		{MinReps: 1},
+		{MinReps: 20, MaxReps: 10},
+		{Parallelism: -2},
+	}
+	for i, opts := range cases {
+		if _, err := Run(context.Background(), rep, opts); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, opts)
+		}
+	}
+}
+
+func TestStopMetricsSubset(t *testing.T) {
+	// Metric "noisy" never converges, but stopping gates only on "flat".
+	rep := func(_ int, seed uint64) (map[string]float64, error) {
+		src := rng.New(seed)
+		return map[string]float64{
+			"flat":  100,
+			"noisy": src.Float64() * 1000,
+		}, nil
+	}
+	sum, err := Run(context.Background(), rep, Options{
+		Seed: 1, StopMetrics: []string{"flat"}, MinReps: 5, MaxReps: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Converged {
+		t.Error("did not converge on the gated metric")
+	}
+	if sum.Replications > 10 {
+		t.Errorf("ran %d replications; the gated metric converges immediately", sum.Replications)
+	}
+}
+
+func TestStopMetricsMissingNeverConverges(t *testing.T) {
+	sum, err := Run(context.Background(), noisyReplicator(1, 0.01), Options{
+		Seed: 1, StopMetrics: []string{"absent"}, MinReps: 3, MaxReps: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Converged {
+		t.Error("converged on a metric that was never observed")
+	}
+	if sum.Replications != 7 {
+		t.Errorf("replications = %d, want MaxReps", sum.Replications)
+	}
+}
+
+func TestSummaryHelpers(t *testing.T) {
+	sum, err := Run(context.Background(), func(_ int, _ uint64) (map[string]float64, error) {
+		return map[string]float64{"b": 2, "a": 1}, nil
+	}, Options{Seed: 1, MinReps: 3, MaxReps: 3, RelWidth: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sum.MetricNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("MetricNames = %v", names)
+	}
+	if sum.Mean("a") != 1 || sum.Mean("missing") != 0 {
+		t.Fatal("Mean helper wrong")
+	}
+	if _, ok := sum.Metric("missing"); ok {
+		t.Fatal("missing metric reported present")
+	}
+}
+
+func TestZeroMeanMetricConverges(t *testing.T) {
+	// A constant-zero metric (e.g. SCS's starved VM availability) must
+	// not block convergence: 0 ± 0 has zero relative width.
+	rep := func(_ int, seed uint64) (map[string]float64, error) {
+		src := rng.New(seed)
+		return map[string]float64{
+			"zero": 0,
+			"main": 5 + 0.1*(src.Float64()-0.5),
+		}, nil
+	}
+	sum, err := Run(context.Background(), rep, Options{Seed: 1, MinReps: 5, MaxReps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Converged {
+		t.Fatalf("zero-mean metric blocked convergence (%d reps)", sum.Replications)
+	}
+}
+
+func TestReplicationIndexPassed(t *testing.T) {
+	var calls []int
+	mu := make(chan struct{}, 1)
+	mu <- struct{}{}
+	rep := func(i int, _ uint64) (map[string]float64, error) {
+		<-mu
+		calls = append(calls, i)
+		mu <- struct{}{}
+		return map[string]float64{"m": 1}, nil
+	}
+	if _, err := Run(context.Background(), rep, Options{Seed: 1, MinReps: 6, MaxReps: 6, RelWidth: 100, Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range calls {
+		seen[c] = true
+	}
+	for i := 0; i < 6; i++ {
+		if !seen[i] {
+			t.Fatalf("replication index %d never ran (saw %v)", i, calls)
+		}
+	}
+}
+
+func TestLargeBatchClampsToMaxReps(t *testing.T) {
+	count := atomic.Int64{}
+	rep := func(_ int, seed uint64) (map[string]float64, error) {
+		count.Add(1)
+		src := rng.New(seed)
+		return map[string]float64{"m": src.Float64()}, nil
+	}
+	_, err := Run(context.Background(), rep, Options{
+		Seed: 1, MinReps: 2, MaxReps: 5, RelWidth: 1e-12, Parallelism: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := count.Load(); got != 5 {
+		t.Fatalf("ran %d replications, want exactly MaxReps 5", got)
+	}
+}
+
+func ExampleRun() {
+	rep := func(_ int, seed uint64) (map[string]float64, error) {
+		return map[string]float64{"answer": 42}, nil
+	}
+	sum, _ := Run(context.Background(), rep, Options{Seed: 1, MinReps: 3, MaxReps: 3, RelWidth: 100})
+	fmt.Println(sum.Replications, sum.Mean("answer"))
+	// Output: 3 42
+}

@@ -1,0 +1,24 @@
+package stats
+
+import "testing"
+
+func BenchmarkWelfordAdd(b *testing.B) {
+	var w Welford
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i % 97))
+	}
+}
+
+func BenchmarkTQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = TQuantile(0.95, 20)
+	}
+}
+
+func BenchmarkTimeWeightedObserve(b *testing.B) {
+	var tw TimeWeighted
+	tw.Start(0, 0)
+	for i := 0; i < b.N; i++ {
+		tw.Observe(float64(i+1), float64(i%2))
+	}
+}

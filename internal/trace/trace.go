@@ -1,0 +1,195 @@
+// Package trace records scheduling transitions for debugging and
+// visualization: an in-memory recorder, streaming JSONL/CSV writers, and a
+// text Gantt renderer showing which VCPU held which PCPU over time.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// EventKind classifies trace events.
+type EventKind string
+
+// Event kinds.
+const (
+	KindScheduleIn  EventKind = "schedule_in"
+	KindScheduleOut EventKind = "schedule_out"
+	KindJobComplete EventKind = "job_complete"
+)
+
+// Event is one recorded transition.
+type Event struct {
+	Time    int64     `json:"t"`
+	Kind    EventKind `json:"kind"`
+	VCPU    int       `json:"vcpu"`
+	PCPU    int       `json:"pcpu,omitempty"`
+	Expired bool      `json:"expired,omitempty"`
+	Sync    bool      `json:"sync,omitempty"`
+}
+
+// Recorder collects events in memory. It implements fastsim.Tracer. The
+// zero value is ready to use. Recorder is safe for concurrent use, though
+// a single simulation drives it sequentially.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// ScheduleIn records a PCPU grant.
+func (r *Recorder) ScheduleIn(now int64, vcpu, pcpu int) {
+	r.add(Event{Time: now, Kind: KindScheduleIn, VCPU: vcpu, PCPU: pcpu})
+}
+
+// ScheduleOut records a PCPU revocation.
+func (r *Recorder) ScheduleOut(now int64, vcpu, pcpu int, expired bool) {
+	r.add(Event{Time: now, Kind: KindScheduleOut, VCPU: vcpu, PCPU: pcpu, Expired: expired})
+}
+
+// JobComplete records a workload completion.
+func (r *Recorder) JobComplete(now int64, vcpu int, sync bool) {
+	r.add(Event{Time: now, Kind: KindJobComplete, VCPU: vcpu, Sync: sync})
+}
+
+func (r *Recorder) add(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteJSONL streams the events as one JSON object per line.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events() {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("trace: encode event: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteCSV streams the events as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "kind", "vcpu", "pcpu", "expired", "sync"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, e := range r.Events() {
+		rec := []string{
+			strconv.FormatInt(e.Time, 10),
+			string(e.Kind),
+			strconv.Itoa(e.VCPU),
+			strconv.Itoa(e.PCPU),
+			strconv.FormatBool(e.Expired),
+			strconv.FormatBool(e.Sync),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write event: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Gantt renders a text timeline of PCPU occupancy from the recorded
+// schedule-in/out events: one row per PCPU, one character per step ticks
+// ('.' idle, the VCPU id otherwise). width bounds the row length. It
+// infers the PCPU count from the events; use GanttN to render rows for
+// PCPUs that never appear.
+func (r *Recorder) Gantt(horizon int64, step int64, width int) string {
+	return r.GanttN(0, horizon, step, width)
+}
+
+// GanttN is Gantt with an explicit PCPU count, so fully idle PCPUs (e.g.
+// fragmentation under strict co-scheduling) still render as idle rows.
+func (r *Recorder) GanttN(numPCPUs int, horizon int64, step int64, width int) string {
+	if step < 1 {
+		step = 1
+	}
+	events := r.Events()
+	maxPCPU := numPCPUs - 1
+	for _, e := range events {
+		if e.PCPU > maxPCPU {
+			maxPCPU = e.PCPU
+		}
+	}
+	if maxPCPU < 0 {
+		maxPCPU = 0
+	}
+	cols := int(horizon / step)
+	if cols < 1 {
+		cols = 1
+	}
+	if width > 0 && cols > width {
+		cols = width
+	}
+	grid := make([][]rune, maxPCPU+1)
+	for p := range grid {
+		grid[p] = []rune(strings.Repeat(".", cols))
+	}
+	// Build per-PCPU occupancy intervals.
+	type hold struct {
+		vcpu int
+		from int64
+	}
+	open := make(map[int]hold)
+	paint := func(p, vcpu int, from, to int64) {
+		for c := from / step; c <= (to-1)/step && c < int64(cols); c++ {
+			if c >= 0 {
+				grid[p][c] = vcpuRune(vcpu)
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time < events[j].Time })
+	for _, e := range events {
+		switch e.Kind {
+		case KindScheduleIn:
+			open[e.PCPU] = hold{vcpu: e.VCPU, from: e.Time}
+		case KindScheduleOut:
+			if h, ok := open[e.PCPU]; ok && h.vcpu == e.VCPU {
+				paint(e.PCPU, e.VCPU, h.from, e.Time)
+				delete(open, e.PCPU)
+			}
+		}
+	}
+	for p, h := range open {
+		paint(p, h.vcpu, h.from, horizon)
+	}
+	var b strings.Builder
+	for p := range grid {
+		fmt.Fprintf(&b, "PCPU%-2d %s\n", p, string(grid[p]))
+	}
+	return b.String()
+}
+
+// vcpuRune maps a VCPU id to a display rune (0-9, a-z, then '#').
+func vcpuRune(id int) rune {
+	switch {
+	case id < 10:
+		return rune('0' + id)
+	case id < 36:
+		return rune('a' + id - 10)
+	default:
+		return '#'
+	}
+}

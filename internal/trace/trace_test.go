@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleRecorder() *Recorder {
+	r := &Recorder{}
+	r.ScheduleIn(0, 1, 0)
+	r.ScheduleIn(0, 2, 1)
+	r.JobComplete(5, 1, false)
+	r.ScheduleOut(10, 1, 0, true)
+	r.ScheduleIn(10, 3, 0)
+	r.JobComplete(12, 3, true)
+	r.ScheduleOut(20, 3, 0, false)
+	return r
+}
+
+func TestRecorderCollects(t *testing.T) {
+	r := sampleRecorder()
+	if r.Len() != 7 {
+		t.Fatalf("len = %d, want 7", r.Len())
+	}
+	events := r.Events()
+	if events[0].Kind != KindScheduleIn || events[0].VCPU != 1 {
+		t.Fatalf("first event = %+v", events[0])
+	}
+	if events[3].Kind != KindScheduleOut || !events[3].Expired {
+		t.Fatalf("expiry event = %+v", events[3])
+	}
+	if events[5].Kind != KindJobComplete || !events[5].Sync {
+		t.Fatalf("sync completion = %+v", events[5])
+	}
+	// Events() returns a copy.
+	events[0].VCPU = 99
+	if r.Events()[0].VCPU != 1 {
+		t.Fatal("Events exposed internal slice")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var b strings.Builder
+	if err := sampleRecorder().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("JSONL lines = %d, want 7", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[3]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != KindScheduleOut || e.Time != 10 || !e.Expired {
+		t.Fatalf("decoded event = %+v", e)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleRecorder().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 8 { // header + 7
+		t.Fatalf("CSV lines = %d, want 8", len(lines))
+	}
+	if lines[0] != "time,kind,vcpu,pcpu,expired,sync" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[4] != "10,schedule_out,1,0,true,false" {
+		t.Fatalf("expiry row = %q", lines[4])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := &Recorder{}
+	r.ScheduleIn(0, 0, 0)
+	r.ScheduleOut(10, 0, 0, true)
+	r.ScheduleIn(10, 1, 0)
+	r.ScheduleOut(20, 1, 0, true)
+	out := r.Gantt(20, 1, 100)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("rows = %d, want 1:\n%s", len(lines), out)
+	}
+	row := lines[0]
+	if !strings.Contains(row, "PCPU0") {
+		t.Fatalf("row label missing: %q", row)
+	}
+	cells := strings.Fields(row)[1]
+	if len(cells) != 20 {
+		t.Fatalf("cells = %d, want 20: %q", len(cells), cells)
+	}
+	if cells[:10] != "0000000000" || cells[10:] != "1111111111" {
+		t.Fatalf("occupancy = %q", cells)
+	}
+}
+
+func TestGanttOpenInterval(t *testing.T) {
+	r := &Recorder{}
+	r.ScheduleIn(5, 2, 0)
+	// Never scheduled out: painted to the horizon.
+	out := r.Gantt(10, 1, 100)
+	cells := strings.Fields(strings.TrimSpace(out))[1]
+	if cells != ".....22222" {
+		t.Fatalf("open interval = %q", cells)
+	}
+}
+
+func TestGanttNIdleRows(t *testing.T) {
+	r := &Recorder{}
+	r.ScheduleIn(0, 0, 0)
+	out := r.GanttN(3, 10, 1, 100)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d, want 3 (explicit PCPU count):\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "..........") {
+		t.Fatalf("idle PCPU row not blank: %q", lines[2])
+	}
+}
+
+func TestGanttEmptyRecorder(t *testing.T) {
+	r := &Recorder{}
+	out := r.Gantt(10, 1, 100)
+	if !strings.Contains(out, "PCPU0") {
+		t.Fatalf("empty recorder output: %q", out)
+	}
+}
+
+func TestGanttStepAndWidth(t *testing.T) {
+	r := &Recorder{}
+	r.ScheduleIn(0, 0, 0)
+	r.ScheduleOut(100, 0, 0, true)
+	out := r.Gantt(100, 10, 5)
+	cells := strings.Fields(strings.TrimSpace(out))[1]
+	if len(cells) != 5 {
+		t.Fatalf("width clamp: %d cells, want 5", len(cells))
+	}
+	// Step below 1 is clamped.
+	out = r.Gantt(3, 0, 100)
+	if !strings.Contains(out, "000") {
+		t.Fatalf("step clamp output: %q", out)
+	}
+}
+
+func TestVCPURunes(t *testing.T) {
+	cases := map[int]rune{0: '0', 9: '9', 10: 'a', 35: 'z', 36: '#', 100: '#'}
+	for id, want := range cases {
+		if got := vcpuRune(id); got != want {
+			t.Errorf("vcpuRune(%d) = %q, want %q", id, got, want)
+		}
+	}
+}
