@@ -6,10 +6,13 @@
 //
 //	vcpusim -config experiment.json
 //	vcpusim -config experiment.json -single -trace trace.jsonl -gantt
+//	vcpusim vet -config experiment.json
 //
 // With -single, exactly one replication runs (point estimates, optional
 // event trace and Gantt rendering); otherwise the configured
-// confidence-interval controlled replications run.
+// confidence-interval controlled replications run. The vet subcommand
+// runs the static verifiers (model structure and source determinism)
+// instead of simulating; see internal/vet.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"vcpusim/internal/fastsim"
 	"vcpusim/internal/sim"
 	"vcpusim/internal/trace"
+	"vcpusim/internal/vet"
 )
 
 func main() {
@@ -35,6 +39,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "vet" {
+		return vet.Run(args[1:], out)
+	}
 	fs := flag.NewFlagSet("vcpusim", flag.ContinueOnError)
 	var (
 		configPath = fs.String("config", "", "path to the JSON experiment configuration (required)")

@@ -34,6 +34,16 @@ func TestRunReplicatedOutput(t *testing.T) {
 	}
 }
 
+func TestVetSubcommand(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"vet", "-nosource", "-config", "testdata/fig8.json"}, &b); err != nil {
+		t.Fatalf("vet on shipped config: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "ok") {
+		t.Errorf("vet output missing ok line:\n%s", b.String())
+	}
+}
+
 func TestRunSingleWithGanttAndTrace(t *testing.T) {
 	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
 	var b strings.Builder

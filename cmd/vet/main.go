@@ -1,0 +1,25 @@
+// Command vet statically verifies a vcpusim study before it runs: the
+// SAN model built from an experiment configuration (structural defects)
+// and the simulator source tree (determinism-contract violations). It is
+// the standalone twin of `vcpusim vet`.
+//
+// Usage:
+//
+//	vet                       # lint the enclosing module's source
+//	vet -config exp.json      # additionally verify the configured model
+//	vet -fixtures             # demonstrate every model check
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vcpusim/internal/vet"
+)
+
+func main() {
+	if err := vet.Run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vet:", err)
+		os.Exit(1)
+	}
+}

@@ -162,7 +162,6 @@ func BuildSystem(cfg SystemConfig, sched Scheduler, src *rng.Source) (*System, e
 	// --- VCPU Scheduler sub-model (paper Figure 6) ---
 	hv := model.Sub("VCPU_Scheduler")
 	numPCPUs := hv.Place("Num_PCPUs", cfg.PCPUs)
-	_ = numPCPUs                     // configuration place; read by structural tests and DOT
 	hvTick := hv.Place("HV_Tick", 1) // initial token runs the scheduler at t=0
 	sys.pcpus = san.NewExtPlace(hv, "PCPUs", func() []int {
 		pc := make([]int, cfg.PCPUs)
@@ -187,6 +186,9 @@ func BuildSystem(cfg SystemConfig, sched Scheduler, src *rng.Source) (*System, e
 	// scheduling function (paper §III.B.5) ---
 	clock := hv.TimedActivity("Clock", rng.Deterministic{Value: 1})
 	clock.Link(san.LinkOutput, hvTick.Name())
+	for _, v := range sys.vcpus {
+		clock.Link(san.LinkOutput, v.tick.Name())
+	}
 	clock.AddCase(nil, func() {
 		for _, v := range sys.vcpus {
 			v.tick.Add(1)
@@ -199,7 +201,19 @@ func BuildSystem(cfg SystemConfig, sched Scheduler, src *rng.Source) (*System, e
 	// scheduling function, once per tick ---
 	fn := hv.InstantActivity("Scheduling_Func").Priority(prioSchedFn)
 	fn.InputArc(hvTick, 1)
+	fn.Link(san.LinkInput, numPCPUs.Name())
 	fn.Link(san.LinkInput, sys.pcpus.Name())
+	fn.Link(san.LinkOutput, sys.pcpus.Name())
+	fn.Link(san.LinkInput, timestamp.Name())
+	fn.Link(san.LinkOutput, timestamp.Name())
+	for _, vc := range sys.vcpus {
+		// The scheduling function reads and updates every VCPU's host
+		// state and raises the Schedule_In/Out notifications.
+		fn.Link(san.LinkInput, vc.host.Name())
+		fn.Link(san.LinkOutput, vc.host.Name())
+		fn.Link(san.LinkOutput, vc.schedIn.Name())
+		fn.Link(san.LinkOutput, vc.schedOut.Name())
+	}
 	fn.AddCase(nil, func() { sys.schedulerStep(timestamp) })
 
 	if err := model.Err(); err != nil {
@@ -257,6 +271,7 @@ func buildVM(sys *System, hv *san.Sub, index int, cfg VMConfig, src *rng.Source)
 			return hostState{PCPU: -1, LastIn: -1}
 		})
 		vc.tick = sub.Place("Tick", 0)
+		hv.Share(vc.tick) // the hypervisor's clock drives the tick place
 
 		buildVCPUActivities(sys, sub, vm, vc)
 		vm.vcpus = append(vm.vcpus, vc)
@@ -298,7 +313,9 @@ func buildVCPUActivities(sys *System, sub *san.Sub, vm *vmRef, vc *vcpuRef) {
 	// INACTIVE, possibly mid-load and possibly holding a sync point.
 	out := sub.InstantActivity("Schedule_Out_evt").Priority(prioSchedOut)
 	out.InputArc(vc.schedOut, 1)
+	out.Link(san.LinkInput, vc.slot.Name())
 	out.Link(san.LinkOutput, vc.slot.Name())
+	out.Link(san.LinkOutput, vm.numReady.Name())
 	out.AddCase(nil, func() {
 		s := vc.slot.Get()
 		if s.Status == Ready {
@@ -311,7 +328,9 @@ func buildVCPUActivities(sys *System, sub *san.Sub, vm *vmRef, vc *vcpuRef) {
 	// load (BUSY) or idles (READY).
 	in := sub.InstantActivity("Schedule_In_evt").Priority(prioSchedIn)
 	in.InputArc(vc.schedIn, 1)
+	in.Link(san.LinkInput, vc.slot.Name())
 	in.Link(san.LinkOutput, vc.slot.Name())
+	in.Link(san.LinkOutput, vm.numReady.Name())
 	in.AddCase(nil, func() {
 		s := vc.slot.Get()
 		if s.RemainingLoad > 0 {
@@ -358,6 +377,8 @@ func buildJobFlow(sys *System, wg, js *san.Sub, vm *vmRef) {
 		}
 		return true
 	})
+	disp.Link(san.LinkOutput, vm.numReady.Name())
+	disp.Link(san.LinkOutput, vm.blocked.Name()) // raises the sync barrier
 	disp.AddCase(nil, func() {
 		w := vm.pending.Get()
 		for _, vc := range vm.vcpus {
@@ -384,6 +405,7 @@ func buildJobFlow(sys *System, wg, js *san.Sub, vm *vmRef) {
 	// its outstanding load.
 	unb := js.InstantActivity("Unblock").Priority(prioUnblock)
 	unb.Link(san.LinkInput, vm.blocked.Name())
+	unb.Link(san.LinkOutput, vm.blocked.Name()) // clears the sync barrier
 	unb.Predicate(func() bool {
 		if vm.blocked.Tokens() == 0 {
 			return false
@@ -516,6 +538,16 @@ func (sys *System) applyActions(now int64, acts *Actions) {
 // impulse counters.
 func registerRewards(sys *System) {
 	m := sys.model
+	// Documented references let sanlint cross-check every reward against
+	// the model structure (the reward functions themselves are closures).
+	slotNames := make([]string, len(sys.vcpus))
+	for i, vc := range sys.vcpus {
+		slotNames[i] = vc.slot.Name()
+	}
+	blockedNames := make([]string, len(sys.vms))
+	for i, vm := range sys.vms {
+		blockedNames[i] = vm.blocked.Name()
+	}
 	for _, vc := range sys.vcpus {
 		vc := vc
 		m.AddRateReward(AvailabilityMetric(vc.vm, vc.sibling), func() float64 {
@@ -523,13 +555,13 @@ func registerRewards(sys *System) {
 				return 1
 			}
 			return 0
-		})
+		}, vc.slot.Name())
 		m.AddRateReward(VCPUUtilizationMetric(vc.vm, vc.sibling), func() float64 {
 			if vc.slot.Get().Status == Busy {
 				return 1
 			}
 			return 0
-		})
+		}, vc.slot.Name())
 	}
 	for p := 0; p < sys.cfg.PCPUs; p++ {
 		p := p
@@ -538,7 +570,7 @@ func registerRewards(sys *System) {
 				return 1
 			}
 			return 0
-		})
+		}, sys.pcpus.Name())
 	}
 	m.AddRateReward(AvailabilityAvgMetric, func() float64 {
 		active := 0
@@ -548,7 +580,7 @@ func registerRewards(sys *System) {
 			}
 		}
 		return float64(active) / float64(len(sys.vcpus))
-	})
+	}, slotNames...)
 	m.AddRateReward(VCPUUtilizationAvgMetric, func() float64 {
 		busy := 0
 		for _, vc := range sys.vcpus {
@@ -557,7 +589,7 @@ func registerRewards(sys *System) {
 			}
 		}
 		return float64(busy) / float64(len(sys.vcpus))
-	})
+	}, slotNames...)
 	m.AddRateReward(PCPUUtilizationAvgMetric, func() float64 {
 		used := 0
 		for _, v := range *sys.pcpus.Get() {
@@ -566,7 +598,7 @@ func registerRewards(sys *System) {
 			}
 		}
 		return float64(used) / float64(sys.cfg.PCPUs)
-	})
+	}, sys.pcpus.Name())
 	m.AddRateReward(BlockedFractionMetric, func() float64 {
 		blocked := 0
 		for _, vm := range sys.vms {
@@ -575,7 +607,7 @@ func registerRewards(sys *System) {
 			}
 		}
 		return float64(blocked) / float64(len(sys.vms))
-	})
+	}, blockedNames...)
 	m.AddRateReward(SpinFractionMetric, func() float64 {
 		spinning := 0
 		for _, vm := range sys.vms {
@@ -586,7 +618,7 @@ func registerRewards(sys *System) {
 			}
 		}
 		return float64(spinning) / float64(len(sys.vcpus))
-	})
+	}, slotNames...)
 	m.AddRateReward(EffectiveUtilizationMetric, func() float64 {
 		working := 0
 		for _, vm := range sys.vms {
@@ -597,5 +629,5 @@ func registerRewards(sys *System) {
 			}
 		}
 		return float64(working) / float64(len(sys.vcpus))
-	})
+	}, slotNames...)
 }

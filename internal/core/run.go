@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"maps"
 
 	"vcpusim/internal/rng"
 	"vcpusim/internal/san"
@@ -35,11 +36,7 @@ func RunReplicationInterval(cfg SystemConfig, factory SchedulerFactory, warmup, 
 		return nil, err
 	}
 	out := make(map[string]float64, len(res.Rates)+len(res.Impulses))
-	for name, v := range res.Rates {
-		out[name] = v
-	}
-	for name, v := range res.Impulses {
-		out[name] = v
-	}
+	maps.Copy(out, res.Rates)
+	maps.Copy(out, res.Impulses)
 	return out, nil
 }

@@ -150,16 +150,36 @@ type SchedulerFactory func() Scheduler
 // it to discover gang membership.
 func SiblingsOf(vcpus []VCPUView) map[int][]int {
 	byVM := make(map[int][]int)
+	var order []int
 	for _, v := range vcpus {
+		if _, seen := byVM[v.VM]; !seen {
+			order = append(order, v.VM)
+		}
 		byVM[v.VM] = append(byVM[v.VM], v.ID)
 	}
-	for vm := range byVM {
+	for _, vm := range order {
 		ids := byVM[vm]
 		sort.Slice(ids, func(i, j int) bool {
 			return vcpus[ids[i]].Sibling < vcpus[ids[j]].Sibling
 		})
 	}
 	return byVM
+}
+
+// VMs returns the distinct VM indices present in the views in ascending
+// order. Schedulers iterate it instead of ranging over the SiblingsOf map,
+// which would visit VMs in nondeterministic order.
+func VMs(vcpus []VCPUView) []int {
+	seen := make(map[int]bool)
+	var vms []int
+	for _, v := range vcpus {
+		if !seen[v.VM] {
+			seen[v.VM] = true
+			vms = append(vms, v.VM)
+		}
+	}
+	sort.Ints(vms)
+	return vms
 }
 
 // IdlePCPUs returns the IDs of idle PCPUs in ascending order.

@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Handler is the callback executed when an event fires.
@@ -60,6 +61,15 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 
 // Len returns the number of pending events.
 func (k *Kernel) Len() int { return len(k.queue) }
+
+// NextTime returns the scheduled time of the earliest pending event without
+// firing it, or +Inf when the event list is empty.
+func (k *Kernel) NextTime() float64 {
+	if len(k.queue) == 0 {
+		return math.Inf(1)
+	}
+	return k.queue[0].time
+}
 
 // ErrPast is returned when scheduling before the current time.
 var ErrPast = errors.New("des: schedule in the past")

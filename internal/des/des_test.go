@@ -2,10 +2,11 @@ package des
 
 import (
 	"errors"
-	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"vcpusim/internal/rng"
 )
 
 func TestFiringOrderByTime(t *testing.T) {
@@ -221,7 +222,7 @@ func TestStepAndCounters(t *testing.T) {
 
 func TestQuickFiringOrderSorted(t *testing.T) {
 	f := func(seed int64, n uint8) bool {
-		r := rand.New(rand.NewSource(seed))
+		r := rng.New(uint64(seed))
 		k := NewKernel()
 		count := int(n%50) + 1
 		type key struct {

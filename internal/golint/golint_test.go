@@ -1,0 +1,344 @@
+package golint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses one synthetic file.
+func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "synthetic.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func rules(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+func TestRandFindings(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+import (
+	"math/rand"
+	mrand "math/rand/v2"
+	crand "crypto/rand"
+)
+
+var _ = rand.Int
+var _ = mrand.Int
+var _ = crand.Reader
+`)
+	got := randFindings(fset, f)
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want 2 (v1 and v2 imports, not crypto/rand)", got)
+	}
+	for _, fd := range got {
+		if fd.Rule != RuleGlobalRand {
+			t.Errorf("rule = %q, want %q", fd.Rule, RuleGlobalRand)
+		}
+		if !strings.Contains(fd.Message, "internal/rng") {
+			t.Errorf("message should point at the sanctioned package: %q", fd.Message)
+		}
+	}
+}
+
+func TestClockFindings(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+import (
+	clock "time"
+	"time"
+)
+
+var a = time.Now()
+var b = clock.Since(a)
+var c = time.Until(a)
+var d time.Duration // type reference, not a clock read
+var e = time.Unix(0, 0) // deterministic constructor, allowed
+`)
+	got := clockFindings(fset, f)
+	if len(got) != 3 {
+		t.Fatalf("findings = %v, want 3 (Now, aliased Since, Until)", got)
+	}
+	wantSel := []string{"Now", "Since", "Until"}
+	for i, fd := range got {
+		if fd.Rule != RuleWallClock {
+			t.Errorf("rule = %q, want %q", fd.Rule, RuleWallClock)
+		}
+		if !strings.Contains(fd.Message, "time."+wantSel[i]) {
+			t.Errorf("finding %d message = %q, want mention of time.%s", i, fd.Message, wantSel[i])
+		}
+	}
+}
+
+func TestClockFindingsNoTimeImport(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+type time struct{}
+
+func (time) Now() int { return 0 }
+
+var x = time{}.Now() // local type named time, no "time" import
+`)
+	if got := clockFindings(fset, f); len(got) != 0 {
+		t.Fatalf("findings = %v, want none without a time import", got)
+	}
+}
+
+// typeCheck type-checks an import-free synthetic file.
+func typeCheck(t *testing.T, fset *token.FileSet, f *ast.File) *types.Info {
+	t.Helper()
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	conf := types.Config{Error: func(error) {}}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestMapRangeFindings(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+type registry map[string]int
+
+func g(m map[int]bool, r registry, s []int, str string, ch chan int) int {
+	total := 0
+	for k := range m { // map: flagged
+		_ = k
+		total++
+	}
+	for k, v := range r { // named map type: flagged
+		_, _ = k, v
+	}
+	for i, v := range s { // slice: fine
+		_, _ = i, v
+	}
+	for _, c := range str { // string: fine
+		_ = c
+	}
+	for v := range ch { // channel: fine
+		_ = v
+	}
+	return total
+}
+`)
+	info := typeCheck(t, fset, f)
+	got := mapRangeFindings(fset, []*ast.File{f}, info)
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want 2 (plain and named map)", got)
+	}
+	if got[0].Pos.Line != 7 || got[1].Pos.Line != 11 {
+		t.Errorf("lines = %d, %d, want 7 and 11", got[0].Pos.Line, got[1].Pos.Line)
+	}
+	for _, fd := range got {
+		if fd.Rule != RuleMapRange {
+			t.Errorf("rule = %q, want %q", fd.Rule, RuleMapRange)
+		}
+	}
+}
+
+func TestMapRangeSkipsUnknownTypes(t *testing.T) {
+	fset, f := parseSrc(t, `package p
+
+func g() {
+	for k := range undefinedThing { // no type facts: skipped, not guessed
+		_ = k
+	}
+}
+`)
+	// Type-check with errors suppressed; the range expression gets no type.
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	conf := types.Config{Error: func(error) {}}
+	conf.Check("p", fset, []*ast.File{f}, info)
+	if got := mapRangeFindings(fset, []*ast.File{f}, info); len(got) != 0 {
+		t.Fatalf("findings = %v, want none for untypeable operand", got)
+	}
+}
+
+func TestInScope(t *testing.T) {
+	scopes := []string{"internal/san", "internal/des"}
+	cases := map[string]bool{
+		"internal/san":          true,
+		"internal/san/fixtures": true,
+		"internal/sanlint":      false,
+		"internal/des":          true,
+		"internal":              false,
+		".":                     false,
+	}
+	for rel, want := range cases {
+		if got := inScope(rel, scopes); got != want {
+			t.Errorf("inScope(%q) = %v, want %v", rel, got, want)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Pos:     token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Rule:    RuleMapRange,
+		Message: "ranges over map[int]bool",
+	}
+	want := "a/b.go:3:7: map-range: ranges over map[int]bool"
+	if got := f.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// writeTree materializes a file tree under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestRunSeededDefects runs the full analyzer over a synthetic module with
+// one violation of every rule, plus exempted and out-of-scope code that
+// must stay silent.
+func TestRunSeededDefects(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/fake\n\ngo 1.22\n",
+		// In scope for every rule: all three must fire.
+		"internal/san/bad.go": `package san
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Bad(m map[string]int) int {
+	total := rand.Int()
+	_ = time.Now()
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`,
+		// Test files are exempt from the map-range rule but not the rand
+		// rule.
+		"internal/san/bad_test.go": `package san
+
+import "math/rand"
+
+func helper(m map[string]int) int {
+	total := rand.Int()
+	for _, v := range m { // test file: map range allowed
+		total += v
+	}
+	return total
+}
+`,
+		// The exempted package may import math/rand.
+		"internal/rng/rng.go": `package rng
+
+import "math/rand"
+
+func Draw() int { return rand.Int() }
+`,
+		// Outside every scope: wall clock and map ranges are allowed,
+		// math/rand is not.
+		"cmd/tool/main.go": `package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	m := map[int]int{1: rand.Int()}
+	for k, v := range m {
+		_ = time.Now().Add(time.Duration(k + v))
+	}
+}
+`,
+	})
+	findings, err := Run(DefaultConfig(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFile := make(map[string][]string)
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel = filepath.ToSlash(rel)
+		byFile[rel] = append(byFile[rel], f.Rule)
+	}
+	want := map[string][]string{
+		"internal/san/bad.go":      {RuleGlobalRand, RuleWallClock, RuleMapRange},
+		"internal/san/bad_test.go": {RuleGlobalRand},
+		"cmd/tool/main.go":         {RuleGlobalRand},
+	}
+	for file, rulesWant := range want {
+		got := byFile[file]
+		if strings.Join(got, ",") != strings.Join(rulesWant, ",") {
+			t.Errorf("%s: rules = %v, want %v", file, got, rulesWant)
+		}
+	}
+	if got := byFile["internal/rng/rng.go"]; len(got) != 0 {
+		t.Errorf("exempted internal/rng flagged: %v", got)
+	}
+	if len(findings) != 5 {
+		t.Errorf("total findings = %d, want 5:\n%s", len(findings), renderFindings(findings))
+	}
+}
+
+// TestRepoClean is the contract itself: the simulator's own source must
+// produce zero findings.
+func TestRepoClean(t *testing.T) {
+	findings, err := Run(DefaultConfig(filepath.Join("..", "..")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("repository violates its determinism contract:\n%s", renderFindings(findings))
+	}
+}
+
+func TestModulePathErrors(t *testing.T) {
+	if _, err := modulePath(filepath.Join(t.TempDir(), "go.mod")); err == nil {
+		t.Error("missing go.mod should error")
+	}
+	root := writeTree(t, map[string]string{"go.mod": "// no module line\n"})
+	if _, err := modulePath(filepath.Join(root, "go.mod")); err == nil {
+		t.Error("go.mod without module directive should error")
+	}
+	root2 := writeTree(t, map[string]string{"go.mod": "module  spaced/path \n"})
+	got, err := modulePath(filepath.Join(root2, "go.mod"))
+	if err != nil || got != "spaced/path" {
+		t.Errorf("modulePath = %q, %v; want spaced/path", got, err)
+	}
+}
+
+func renderFindings(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}

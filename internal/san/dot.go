@@ -14,12 +14,18 @@ func (m *Model) Dot() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", m.name)
 
-	// Group components by submodel (prefix before the first '/').
+	// Group components by submodel (prefix before the first '/'). The
+	// insertion-order slice keeps iteration deterministic without ranging
+	// over the map.
 	clusters := make(map[string][]string)
+	var subOrder []string
 	addNode := func(name, attrs string) {
 		sub, _, found := strings.Cut(name, "/")
 		if !found {
 			sub = ""
+		}
+		if _, seen := clusters[sub]; !seen {
+			subOrder = append(subOrder, sub)
 		}
 		clusters[sub] = append(clusters[sub], fmt.Sprintf("    %q [%s];", name, attrs))
 	}
@@ -47,12 +53,8 @@ func (m *Model) Dot() string {
 		addNode(a.name, fmt.Sprintf("label=%q, shape=%s, height=0.2, %s", shortName(a.name), shape, style))
 	}
 
-	subs := make([]string, 0, len(clusters))
-	for sub := range clusters {
-		subs = append(subs, sub)
-	}
-	sort.Strings(subs)
-	for i, sub := range subs {
+	sort.Strings(subOrder)
+	for i, sub := range subOrder {
 		if sub == "" {
 			for _, line := range clusters[sub] {
 				fmt.Fprintln(&b, line)

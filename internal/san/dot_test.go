@@ -1,0 +1,83 @@
+package san
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vcpusim/internal/rng"
+)
+
+var updateDot = flag.Bool("update-dot", false, "rewrite the DOT golden file")
+
+// dotModel builds a small two-submodel composed model exercising every
+// DOT feature: plain and extended places, a shared (join) place, timed
+// and instantaneous activities, and input and output edges.
+func dotModel() *Model {
+	m := NewModel("dot_golden")
+	s1 := m.Sub("producer")
+	buf := s1.Place("buffer", 0)
+	gen := s1.TimedActivity("generate", rng.Exponential{Rate: 2})
+	gen.OutputArc(buf, 1)
+	NewExtPlace(s1, "state", func() int { return 0 })
+
+	s2 := m.Sub("consumer")
+	s2.Share(buf)
+	done := s2.Place("done", 0)
+	take := s2.InstantActivity("take")
+	take.InputArc(buf, 1)
+	take.OutputArc(done, 1)
+	return m
+}
+
+// TestDotGolden pins the exact DOT rendering against testdata/model.dot.
+func TestDotGolden(t *testing.T) {
+	got := dotModel().Dot()
+	path := filepath.Join("testdata", "model.dot")
+	if *updateDot {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-dot to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("DOT output drifted from golden file; run go test ./internal/san -run TestDotGolden -update-dot\n--- got ---\n%s", got)
+	}
+}
+
+// TestDotDeterministic verifies repeated renderings are byte-identical
+// (cluster emission must not depend on map iteration order).
+func TestDotDeterministic(t *testing.T) {
+	first := dotModel().Dot()
+	for i := 0; i < 5; i++ {
+		if got := dotModel().Dot(); got != first {
+			t.Fatalf("rendering %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}
+
+// TestDotStructure spot-checks semantic properties of the rendering
+// beyond the golden bytes.
+func TestDotStructure(t *testing.T) {
+	out := dotModel().Dot()
+	for _, want := range []string{
+		`subgraph cluster_`,                     // submodels become clusters
+		`label="producer"`,                      // cluster labels
+		`"producer/buffer" -> "consumer/take";`, // input edge
+		`"consumer/take" -> "consumer/done";`,   // output edge
+		`peripheries=2`,                         // extended place marker
+		`fillcolor=lightyellow`,                 // join-place highlight
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -71,6 +71,10 @@ func NewRunner(model *Model, seed uint64) (*Runner, error) {
 	for i := range r.rates {
 		r.rates[i] = &stats.TimeWeighted{}
 	}
+	// Fail fast: any modeling error recorded during execution (negative
+	// marking, ReportError from gate code) aborts the replication instead
+	// of letting it finish with clamped state.
+	model.notify = r.fail
 	for _, a := range model.activities {
 		if a.kind == Instantaneous {
 			r.instants = append(r.instants, a)
@@ -170,19 +174,7 @@ func (r *Runner) snapshotWarmup() {
 }
 
 // peekTime returns the time of the next pending event, or +Inf.
-func (r *Runner) peekTime() float64 {
-	if r.kernel.Len() == 0 {
-		return math.Inf(1)
-	}
-	// The kernel has no direct peek; track via scheduled events.
-	min := math.Inf(1)
-	for _, ev := range r.events {
-		if ev.Pending() && ev.Time() < min {
-			min = ev.Time()
-		}
-	}
-	return min
-}
+func (r *Runner) peekTime() float64 { return r.kernel.NextTime() }
 
 // fire completes an activity: input-gate functions run first, then one case
 // is selected by weight and its output gate runs.
@@ -248,6 +240,9 @@ func (r *Runner) stabilize() error {
 				fired = true
 				break // restart the priority scan after each marking change
 			}
+		}
+		if r.failed != nil {
+			return r.failed
 		}
 		if !fired {
 			return nil

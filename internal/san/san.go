@@ -136,10 +136,15 @@ const (
 	LinkOutput
 )
 
-// Link is a documented activity↔place connection.
+// Link is a documented activity↔place connection. Tokens is the number of
+// tokens the connection requires (input) or produces (output) when the link
+// was created by InputArc/OutputArc; 0 means the activity only reads or
+// writes the place through gate code (for example a zero-test predicate),
+// without a fixed token count.
 type Link struct {
-	Kind  LinkKind
-	Place string
+	Kind   LinkKind
+	Place  string
+	Tokens int
 }
 
 // Activity is a SAN activity.
@@ -210,10 +215,17 @@ func (a *Activity) Priority(p int) *Activity {
 	return a
 }
 
-// Link documents a connection to a place for structure export. It has no
-// semantic effect; gates capture places directly.
+// Link documents a connection to a place for structure export and static
+// analysis. It has no semantic effect; gates capture places directly.
 func (a *Activity) Link(kind LinkKind, placeName string) *Activity {
 	a.links = append(a.links, Link{Kind: kind, Place: placeName})
+	return a
+}
+
+// linkTokens documents a connection with a fixed token count (InputArc /
+// OutputArc convenience arcs).
+func (a *Activity) linkTokens(kind LinkKind, placeName string, n int) *Activity {
+	a.links = append(a.links, Link{Kind: kind, Place: placeName, Tokens: n})
 	return a
 }
 
@@ -235,7 +247,7 @@ func (a *Activity) enabled() bool {
 func (a *Activity) InputArc(p *Place, n int) *Activity {
 	a.Predicate(func() bool { return p.Tokens() >= n })
 	a.InputFunc(func() { p.Add(-n) })
-	return a.Link(LinkInput, p.Name())
+	return a.linkTokens(LinkInput, p.Name(), n)
 }
 
 // OutputArc is a convenience: produces n tokens in p on completion. It must
@@ -243,7 +255,7 @@ func (a *Activity) InputArc(p *Place, n int) *Activity {
 // production happens before case outputs.
 func (a *Activity) OutputArc(p *Place, n int) *Activity {
 	a.InputFunc(func() { p.Add(n) })
-	return a.Link(LinkOutput, p.Name())
+	return a.linkTokens(LinkOutput, p.Name(), n)
 }
 
 // RateReward is a reward variable accumulated as the time integral of a
@@ -253,6 +265,9 @@ type RateReward struct {
 	Name string
 	// Fn evaluates the instantaneous reward under the current marking.
 	Fn func() float64
+	// Refs documents the places/activities the reward function reads, for
+	// structure export and static analysis (the function itself is opaque).
+	Refs []string
 }
 
 // ImpulseReward accumulates a value each time a given activity completes.
@@ -262,6 +277,9 @@ type ImpulseReward struct {
 	// Fn evaluates the impulse under the marking after completion. Nil
 	// means 1 (a completion counter).
 	Fn func() float64
+	// Refs documents the places the impulse function reads (the triggering
+	// activity is referenced directly).
+	Refs []string
 }
 
 // Model is a (possibly composed) SAN model: places, activities, and reward
@@ -276,6 +294,9 @@ type Model struct {
 	impulses   []ImpulseReward
 	byName     map[string]bool
 	errs       []error
+	// notify, when set, is called on every recorded modeling error so a
+	// running Runner can fail fast instead of finishing with clamped state.
+	notify func(error)
 }
 
 // NewModel creates an empty model.
@@ -289,7 +310,12 @@ func (m *Model) Name() string { return m.name }
 // Err returns the accumulated build or runtime modeling errors, if any.
 func (m *Model) Err() error { return errors.Join(m.errs...) }
 
-func (m *Model) addErr(err error) { m.errs = append(m.errs, err) }
+func (m *Model) addErr(err error) {
+	m.errs = append(m.errs, err)
+	if m.notify != nil {
+		m.notify(err)
+	}
+}
 
 // ReportError records a runtime modeling error raised by gate code (for
 // example, a plugged-in scheduling function violating an invariant). The
@@ -332,17 +358,21 @@ func (m *Model) ExtPlaceJoins() map[string][]string {
 	return joins
 }
 
-// AddRateReward registers a rate reward variable.
-func (m *Model) AddRateReward(name string, fn func() float64) {
+// AddRateReward registers a rate reward variable. The optional refs
+// document which places/activities the reward function reads; they have no
+// semantic effect but let static analysis cross-check the reward against
+// the model structure.
+func (m *Model) AddRateReward(name string, fn func() float64, refs ...string) {
 	if fn == nil {
 		m.addErr(fmt.Errorf("san: nil rate reward %q", name))
 		return
 	}
-	m.rates = append(m.rates, RateReward{Name: name, Fn: fn})
+	m.rates = append(m.rates, RateReward{Name: name, Fn: fn, Refs: refs})
 }
 
-// AddImpulseReward registers an impulse reward variable on an activity.
-func (m *Model) AddImpulseReward(name string, a *Activity, fn func() float64) {
+// AddImpulseReward registers an impulse reward variable on an activity. The
+// optional refs document places the impulse function reads.
+func (m *Model) AddImpulseReward(name string, a *Activity, fn func() float64, refs ...string) {
 	if a == nil {
 		m.addErr(fmt.Errorf("san: nil activity for impulse reward %q", name))
 		return
@@ -350,7 +380,7 @@ func (m *Model) AddImpulseReward(name string, a *Activity, fn func() float64) {
 	if fn == nil {
 		fn = func() float64 { return 1 }
 	}
-	m.impulses = append(m.impulses, ImpulseReward{Name: name, Activity: a, Fn: fn})
+	m.impulses = append(m.impulses, ImpulseReward{Name: name, Activity: a, Fn: fn, Refs: refs})
 }
 
 // RateRewardNames returns the registered rate reward names in order.

@@ -1,0 +1,504 @@
+// Package sanlint statically verifies SAN models before any replication
+// runs, substituting for the model checks the closed-source Möbius tool
+// performs on composed models. It analyzes the plain-data structure
+// snapshot a model exports (san.Structure): documented arcs, join
+// relations, initial markings, case weights, and reward references.
+//
+// Gate predicates and output functions are opaque Go closures, so every
+// check reasons over the documented structure only. The checks are
+// conservative: a diagnostic always points at a structural defect or at
+// missing Link/Share/reward-reference documentation — both are worth
+// fixing, because the documented structure is what DOT export, structural
+// tests, and this analyzer see.
+package sanlint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"vcpusim/internal/san"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities, in increasing order of gravity.
+const (
+	Info Severity = iota + 1
+	Warning
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Check identifiers, stable across releases so tooling can filter on them.
+const (
+	// CheckCaseWeights: an activity's case weights are negative, all zero,
+	// or do not sum to 1 under the initial marking.
+	CheckCaseWeights = "case-weights"
+	// CheckUnknownLink: a documented link references a place name that
+	// does not exist in the model.
+	CheckUnknownLink = "unknown-link"
+	// CheckNeverRead: a place is written by activities but read by none
+	// and referenced by no reward variable.
+	CheckNeverRead = "place-never-read"
+	// CheckNeverWritten: an initially empty place is read by activities
+	// but written by none.
+	CheckNeverWritten = "place-never-written"
+	// CheckDeadActivity: an activity can never be enabled under the
+	// initial marking (reachability over the documented-arc structural
+	// approximation).
+	CheckDeadActivity = "dead-activity"
+	// CheckInstantCycle: instantaneous activities form a token cycle that
+	// could livelock marking stabilization.
+	CheckInstantCycle = "instant-cycle"
+	// CheckUnsharedJoin: an activity uses a place that is not shared
+	// (joined) into the activity's submodel.
+	CheckUnsharedJoin = "unshared-join"
+	// CheckRewardRef: a reward variable references an unknown place or
+	// activity.
+	CheckRewardRef = "reward-ref"
+	// CheckIsolatedPlace: a place has no links and no reward references.
+	CheckIsolatedPlace = "isolated-place"
+)
+
+// Diagnostic is one structured finding.
+type Diagnostic struct {
+	// Check is the stable identifier of the rule that fired.
+	Check string
+	// Severity grades the finding.
+	Severity Severity
+	// Component is the fully qualified name of the offending component.
+	Component string
+	// Message explains the finding.
+	Message string
+}
+
+// String renders the diagnostic in a grep-friendly single line.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s: %s", d.Severity, d.Check, d.Component, d.Message)
+}
+
+// weightTolerance is the slack allowed when comparing a case-weight sum
+// against 1.
+const weightTolerance = 1e-9
+
+// AnalyzeModel snapshots the model's structure and analyzes it. Run it on a
+// freshly built model, before any replication.
+func AnalyzeModel(m *san.Model) []Diagnostic {
+	return Analyze(m.Structure())
+}
+
+// Analyze runs every check against the structure snapshot and returns the
+// findings in a deterministic order (definition order within each check,
+// checks in a fixed sequence).
+func Analyze(st san.Structure) []Diagnostic {
+	a := newAnalysis(st)
+	a.checkCaseWeights()
+	a.checkLinks() // unknown-link and unshared-join
+	a.checkPlaceFlow()
+	a.checkDeadActivities()
+	a.checkInstantCycles()
+	a.checkRewardRefs()
+	return a.diags
+}
+
+// analysis carries the indexed structure and accumulated diagnostics.
+type analysis struct {
+	st       san.Structure
+	place    map[string]*san.PlaceInfo
+	activity map[string]bool
+	// readBy / writtenBy count documented links per place name.
+	readBy    map[string]int
+	writtenBy map[string]int
+	// rewardRefs marks every name a reward variable references.
+	rewardRefs map[string]bool
+	diags      []Diagnostic
+}
+
+func newAnalysis(st san.Structure) *analysis {
+	a := &analysis{
+		st:         st,
+		place:      make(map[string]*san.PlaceInfo, len(st.Places)),
+		activity:   make(map[string]bool, len(st.Activities)),
+		readBy:     make(map[string]int),
+		writtenBy:  make(map[string]int),
+		rewardRefs: make(map[string]bool),
+	}
+	for i := range st.Places {
+		a.place[st.Places[i].Name] = &st.Places[i]
+	}
+	for _, act := range st.Activities {
+		a.activity[act.Name] = true
+		for _, l := range act.Links {
+			switch l.Kind {
+			case san.LinkInput:
+				a.readBy[l.Place]++
+			case san.LinkOutput:
+				a.writtenBy[l.Place]++
+			}
+		}
+	}
+	for _, r := range st.Rewards {
+		for _, ref := range r.Refs {
+			a.rewardRefs[ref] = true
+		}
+		if r.Activity != "" {
+			a.rewardRefs[r.Activity] = true
+		}
+	}
+	return a
+}
+
+func (a *analysis) report(check string, sev Severity, component, format string, args ...any) {
+	a.diags = append(a.diags, Diagnostic{
+		Check:     check,
+		Severity:  sev,
+		Component: component,
+		Message:   fmt.Sprintf(format, args...),
+	})
+}
+
+// submodelOf returns the component's submodel (the prefix before the first
+// '/'), or "" for unqualified names.
+func submodelOf(name string) string {
+	if sub, _, found := strings.Cut(name, "/"); found {
+		return sub
+	}
+	return ""
+}
+
+// checkCaseWeights verifies that every multi-case activity's weights,
+// evaluated under the initial marking, are non-negative, not all zero, and
+// sum to 1 (case weights are the paper's case probabilities; the runtime
+// normalizes them, but a sum away from 1 almost always means a forgotten
+// case or a typo).
+func (a *analysis) checkCaseWeights() {
+	for _, act := range a.st.Activities {
+		if len(act.Cases) < 2 {
+			continue // zero or one case: the implicit/sole case always fires
+		}
+		sum := 0.0
+		negative := false
+		for i, c := range act.Cases {
+			if c.Weight < 0 || math.IsNaN(c.Weight) {
+				a.report(CheckCaseWeights, Error, act.Name,
+					"case %d has invalid weight %g", i, c.Weight)
+				negative = true
+				continue
+			}
+			sum += c.Weight
+		}
+		switch {
+		case negative:
+			// Already reported per case.
+		case sum <= 0:
+			a.report(CheckCaseWeights, Error, act.Name,
+				"all %d case weights are zero under the initial marking", len(act.Cases))
+		case math.Abs(sum-1) > weightTolerance:
+			a.report(CheckCaseWeights, Warning, act.Name,
+				"case probabilities sum to %g, not 1", sum)
+		}
+	}
+}
+
+// checkLinks verifies that every documented link targets an existing place
+// and that the place is joined into the linking activity's submodel.
+func (a *analysis) checkLinks() {
+	for _, act := range a.st.Activities {
+		sub := submodelOf(act.Name)
+		for _, l := range act.Links {
+			p, ok := a.place[l.Place]
+			if !ok {
+				a.report(CheckUnknownLink, Error, act.Name,
+					"link references unknown place %q", l.Place)
+				continue
+			}
+			joined := false
+			for _, j := range p.Joins {
+				if j == sub {
+					joined = true
+					break
+				}
+			}
+			if !joined {
+				a.report(CheckUnsharedJoin, Error, act.Name,
+					"uses place %s, which is not shared into submodel %q (declared in %v; missing Join)",
+					p.Name, sub, p.Joins)
+			}
+		}
+	}
+}
+
+// checkPlaceFlow flags places whose documented token flow is one-sided:
+// written but never read (tokens accumulate unobserved), or read while
+// initially empty and never written (the read can never see a token). It
+// also flags places with no links and no reward references at all.
+func (a *analysis) checkPlaceFlow() {
+	for _, p := range a.st.Places {
+		reads, writes := a.readBy[p.Name], a.writtenBy[p.Name]
+		switch {
+		case reads == 0 && writes == 0:
+			if !a.rewardRefs[p.Name] {
+				a.report(CheckIsolatedPlace, Info, p.Name,
+					"no activity links and no reward references; dead state")
+			}
+		case writes > 0 && reads == 0 && !a.rewardRefs[p.Name]:
+			a.report(CheckNeverRead, Warning, p.Name,
+				"written by %d activity link(s) but never read and not referenced by any reward", writes)
+		case reads > 0 && writes == 0 && !p.Extended && p.Initial == 0:
+			a.report(CheckNeverWritten, Warning, p.Name,
+				"read by %d activity link(s) but initially empty and never written", reads)
+		}
+	}
+}
+
+// requiredInputs returns the counted places an activity needs tokens in
+// before it can complete, per its documented input arcs (Tokens > 0).
+// Read-only links (Tokens == 0, e.g. zero tests) and extended places do not
+// gate enabling in this approximation.
+func (a *analysis) requiredInputs(act san.ActivityInfo) []string {
+	var req []string
+	for _, l := range act.Links {
+		if l.Kind != san.LinkInput || l.Tokens <= 0 {
+			continue
+		}
+		if p, ok := a.place[l.Place]; ok && !p.Extended {
+			req = append(req, l.Place)
+		}
+	}
+	return req
+}
+
+// checkDeadActivities computes a reachability fixpoint over the documented
+// arcs: a place is potentially markable if it starts marked or some
+// potentially fireable activity writes it; an activity is potentially
+// fireable if every input arc's place is potentially markable. Activities
+// outside the fixpoint can never be enabled under the initial marking —
+// the approximation ignores token counts and opaque predicates, so it
+// over-approximates enabling and never flags a live activity.
+func (a *analysis) checkDeadActivities() {
+	marked := make(map[string]bool, len(a.st.Places))
+	for _, p := range a.st.Places {
+		if p.Extended || p.Initial > 0 {
+			marked[p.Name] = true
+		}
+	}
+	fireable := make(map[string]bool, len(a.st.Activities))
+	for changed := true; changed; {
+		changed = false
+		for _, act := range a.st.Activities {
+			if fireable[act.Name] {
+				continue
+			}
+			ok := true
+			for _, need := range a.requiredInputs(act) {
+				if !marked[need] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			fireable[act.Name] = true
+			changed = true
+			for _, l := range act.Links {
+				if l.Kind == san.LinkOutput && !marked[l.Place] {
+					marked[l.Place] = true
+				}
+			}
+		}
+	}
+	for _, act := range a.st.Activities {
+		if !fireable[act.Name] {
+			a.report(CheckDeadActivity, Warning, act.Name,
+				"can never be enabled under the initial marking (unreachable input tokens: %s)",
+				strings.Join(a.unreachableInputs(act, marked), ", "))
+		}
+	}
+}
+
+// unreachableInputs lists the required input places the fixpoint could not
+// mark, for the dead-activity message.
+func (a *analysis) unreachableInputs(act san.ActivityInfo, marked map[string]bool) []string {
+	var out []string
+	for _, need := range a.requiredInputs(act) {
+		if !marked[need] {
+			out = append(out, need)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkInstantCycles finds token cycles among instantaneous activities:
+// activity A feeds B when A writes a counted place B consumes. A strongly
+// connected component with an internal edge can regenerate its own enabling
+// tokens within a single stabilization pass and therefore livelock it.
+func (a *analysis) checkInstantCycles() {
+	// Build the feed graph over instantaneous activities.
+	var nodes []string
+	index := make(map[string]int)
+	for _, act := range a.st.Activities {
+		if act.Kind == san.Instantaneous {
+			index[act.Name] = len(nodes)
+			nodes = append(nodes, act.Name)
+		}
+	}
+	if len(nodes) == 0 {
+		return
+	}
+	consumers := make(map[string][]int) // place -> instantaneous consumers
+	for _, act := range a.st.Activities {
+		if act.Kind != san.Instantaneous {
+			continue
+		}
+		for _, need := range a.requiredInputs(act) {
+			consumers[need] = append(consumers[need], index[act.Name])
+		}
+	}
+	edges := make([][]int, len(nodes))
+	for _, act := range a.st.Activities {
+		if act.Kind != san.Instantaneous {
+			continue
+		}
+		from := index[act.Name]
+		for _, l := range act.Links {
+			if l.Kind != san.LinkOutput {
+				continue
+			}
+			edges[from] = append(edges[from], consumers[l.Place]...)
+		}
+	}
+	for _, scc := range stronglyConnected(edges) {
+		cyclic := len(scc) > 1
+		if !cyclic {
+			for _, to := range edges[scc[0]] {
+				if to == scc[0] {
+					cyclic = true // self-loop
+					break
+				}
+			}
+		}
+		if !cyclic {
+			continue
+		}
+		names := make([]string, len(scc))
+		for i, n := range scc {
+			names[i] = nodes[n]
+		}
+		sort.Strings(names)
+		a.report(CheckInstantCycle, Warning, names[0],
+			"instantaneous activities form a token cycle that could livelock stabilization: %s",
+			strings.Join(names, ", "))
+	}
+}
+
+// checkRewardRefs verifies every documented reward reference names an
+// existing place or activity.
+func (a *analysis) checkRewardRefs() {
+	for _, r := range a.st.Rewards {
+		for _, ref := range r.Refs {
+			if _, ok := a.place[ref]; ok {
+				continue
+			}
+			if a.activity[ref] {
+				continue
+			}
+			a.report(CheckRewardRef, Error, r.Name,
+				"references unknown place or activity %q", ref)
+		}
+	}
+}
+
+// stronglyConnected returns the strongly connected components of the graph
+// (Tarjan's algorithm, iterative), each as a slice of node indices.
+func stronglyConnected(edges [][]int) [][]int {
+	n := len(edges)
+	const unvisited = -1
+	indexOf := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range indexOf {
+		indexOf[i] = unvisited
+	}
+	var (
+		counter int
+		stack   []int
+		sccs    [][]int
+	)
+	type frame struct {
+		node, edge int
+	}
+	for start := 0; start < n; start++ {
+		if indexOf[start] != unvisited {
+			continue
+		}
+		work := []frame{{node: start}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.node
+			if f.edge == 0 {
+				indexOf[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.edge < len(edges[v]) {
+				w := edges[v][f.edge]
+				f.edge++
+				if indexOf[w] == unvisited {
+					work = append(work, frame{node: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && indexOf[w] < low[v] {
+					low[v] = indexOf[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All edges explored: close the frame.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].node
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == indexOf[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}

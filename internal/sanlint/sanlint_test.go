@@ -1,0 +1,233 @@
+package sanlint_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"vcpusim/internal/core"
+	"vcpusim/internal/rng"
+	"vcpusim/internal/san"
+	"vcpusim/internal/sanlint"
+	"vcpusim/internal/sanlint/fixtures"
+	"vcpusim/internal/sched"
+	"vcpusim/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// checkSet collapses diagnostics to the unique set of check identifiers.
+func checkSet(diags []sanlint.Diagnostic) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, d := range diags {
+		if !seen[d.Check] {
+			seen[d.Check] = true
+			out = append(out, d.Check)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFixtures verifies every seeded-defect fixture triggers exactly its
+// expected checks and every clean fixture lints clean.
+func TestFixtures(t *testing.T) {
+	for _, fx := range fixtures.All() {
+		fx := fx
+		t.Run(fx.Name, func(t *testing.T) {
+			diags := sanlint.AnalyzeModel(fx.Build())
+			got := checkSet(diags)
+			want := append([]string(nil), fx.Expect...)
+			sort.Strings(want)
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Errorf("checks = %v, want %v\ndiagnostics:\n%s",
+					got, want, renderDiags(diags))
+			}
+		})
+	}
+}
+
+// TestFixturePairsCoverEveryCheck guards the fixture registry itself: each
+// check identifier must appear in at least one defective fixture, and every
+// defective fixture must have a clean counterpart.
+func TestFixturePairsCoverEveryCheck(t *testing.T) {
+	all := fixtures.All()
+	byName := make(map[string]bool, len(all))
+	covered := make(map[string]bool)
+	for _, fx := range all {
+		byName[fx.Name] = true
+		for _, c := range fx.Expect {
+			covered[c] = true
+		}
+	}
+	checks := []string{
+		sanlint.CheckCaseWeights, sanlint.CheckUnknownLink,
+		sanlint.CheckNeverRead, sanlint.CheckNeverWritten,
+		sanlint.CheckDeadActivity, sanlint.CheckInstantCycle,
+		sanlint.CheckUnsharedJoin, sanlint.CheckRewardRef,
+		sanlint.CheckIsolatedPlace,
+	}
+	for _, c := range checks {
+		if !covered[c] {
+			t.Errorf("no defective fixture covers check %q", c)
+		}
+	}
+	for _, fx := range all {
+		if len(fx.Expect) == 0 {
+			continue
+		}
+		clean := strings.TrimSuffix(fx.Name, "-bad") + "-ok"
+		if !byName[clean] {
+			t.Errorf("defective fixture %q has no clean counterpart %q", fx.Name, clean)
+		}
+	}
+}
+
+// TestGolden pins the exact diagnostics (severity, component, message) for
+// every fixture against testdata/fixtures.golden.
+func TestGolden(t *testing.T) {
+	var b strings.Builder
+	for _, fx := range fixtures.All() {
+		fmt.Fprintf(&b, "== %s\n", fx.Name)
+		diags := sanlint.AnalyzeModel(fx.Build())
+		if len(diags) == 0 {
+			b.WriteString("clean\n")
+		}
+		for _, d := range diags {
+			fmt.Fprintf(&b, "%s\n", d)
+		}
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "fixtures.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics drifted from golden file; run go test ./internal/sanlint -run TestGolden -update\n--- got ---\n%s", got)
+	}
+}
+
+// TestShippedSystemModelsClean verifies the analyzer reports zero
+// diagnostics on the real composed virtualization-system models the
+// framework ships — the paper's Figure 8 setup and a spinlock variant.
+func TestShippedSystemModelsClean(t *testing.T) {
+	configs := map[string]core.SystemConfig{
+		"fig8": {
+			PCPUs:     2,
+			Timeslice: 30,
+			VMs: []core.VMConfig{
+				{Name: "VM1", VCPUs: 2, Workload: workload.Spec{Load: rng.Uniform{Low: 1, High: 10}, SyncEveryN: 5}},
+				{Name: "VM2", VCPUs: 1, Workload: workload.Spec{Load: rng.Uniform{Low: 1, High: 10}, SyncEveryN: 5}},
+				{Name: "VM3", VCPUs: 1, Workload: workload.Spec{Load: rng.Uniform{Low: 1, High: 10}, SyncEveryN: 5}},
+			},
+		},
+		"spinlock": {
+			PCPUs:     2,
+			Timeslice: 30,
+			VMs: []core.VMConfig{
+				{Name: "VM1", VCPUs: 2, Workload: workload.Spec{
+					Load: rng.Uniform{Low: 1, High: 10}, SyncEveryN: 5,
+					SyncKind: workload.SyncSpinlock}},
+			},
+		},
+	}
+	for name, cfg := range configs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			factory, err := sched.Factory("RRS", sched.Params{Timeslice: 30})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := core.BuildSystem(cfg, factory(), rng.New(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := sanlint.AnalyzeModel(sys.Model())
+			if len(diags) != 0 {
+				t.Errorf("shipped model %q has %d diagnostics:\n%s",
+					name, len(diags), renderDiags(diags))
+			}
+		})
+	}
+}
+
+// TestAnalyzeDeterministic verifies two analyses of the same model produce
+// byte-identical output (the analyzer is part of the reproducibility
+// contract).
+func TestAnalyzeDeterministic(t *testing.T) {
+	for _, fx := range fixtures.All() {
+		a := renderDiags(sanlint.AnalyzeModel(fx.Build()))
+		b := renderDiags(sanlint.AnalyzeModel(fx.Build()))
+		if a != b {
+			t.Fatalf("fixture %s: non-deterministic diagnostics:\n%s\nvs\n%s", fx.Name, a, b)
+		}
+	}
+}
+
+// TestSeverityString covers the severity names used in reports.
+func TestSeverityString(t *testing.T) {
+	cases := map[sanlint.Severity]string{
+		sanlint.Info:        "info",
+		sanlint.Warning:     "warning",
+		sanlint.Error:       "error",
+		sanlint.Severity(9): "Severity(9)",
+	}
+	for sev, want := range cases {
+		if got := sev.String(); got != want {
+			t.Errorf("Severity(%d).String() = %q, want %q", int(sev), got, want)
+		}
+	}
+}
+
+// TestStructureSnapshot sanity-checks the san.Structure export the analyzer
+// consumes: link token counts, joins, reward refs.
+func TestStructureSnapshot(t *testing.T) {
+	m := san.NewModel("snap")
+	s1 := m.Sub("s1")
+	s2 := m.Sub("s2")
+	p := s1.Place("p", 2)
+	s2.Share(p)
+	act := s1.TimedActivity("act", rng.Deterministic{Value: 1})
+	act.InputArc(p, 2)
+	act.OutputArc(p, 1)
+	m.AddRateReward("tokens", func() float64 { return float64(p.Tokens()) }, p.Name())
+
+	st := m.Structure()
+	if len(st.Places) != 1 || st.Places[0].Initial != 2 {
+		t.Fatalf("places = %+v", st.Places)
+	}
+	if got := st.Places[0].Joins; len(got) != 2 || got[0] != "s1" || got[1] != "s2" {
+		t.Errorf("joins = %v", got)
+	}
+	if len(st.Activities) != 1 {
+		t.Fatalf("activities = %+v", st.Activities)
+	}
+	links := st.Activities[0].Links
+	if len(links) != 2 || links[0].Tokens != 2 || links[1].Tokens != 1 {
+		t.Errorf("links = %+v, want token counts 2 and 1", links)
+	}
+	if len(st.Rewards) != 1 || len(st.Rewards[0].Refs) != 1 || st.Rewards[0].Refs[0] != "s1/p" {
+		t.Errorf("rewards = %+v", st.Rewards)
+	}
+}
+
+func renderDiags(diags []sanlint.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}

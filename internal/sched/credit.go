@@ -63,13 +63,15 @@ func (c *Credit) Schedule(now int64, vcpus []core.VCPUView, pcpus []core.PCPUVie
 	if now-c.lastFill >= c.period {
 		c.lastFill = now
 		byVM := core.SiblingsOf(vcpus)
+		vms := core.VMs(vcpus)
 		totalWeight := 0.0
-		for vm := range byVM {
+		for _, vm := range vms {
 			totalWeight += c.weight(vm)
 		}
 		if totalWeight > 0 {
 			capacity := float64(c.period) * float64(len(pcpus))
-			for vm, gang := range byVM {
+			for _, vm := range vms {
+				gang := byVM[vm]
 				share := capacity * c.weight(vm) / totalWeight / float64(len(gang))
 				for _, id := range gang {
 					c.credits[id] += share

@@ -19,6 +19,7 @@ import (
 type Hybrid struct {
 	timeslice  int64
 	concurrent map[int]bool
+	name       string
 	next       int // round-robin pointer over schedulable entities
 }
 
@@ -35,24 +36,23 @@ type HybridParams struct {
 // NewHybrid returns a hybrid scheduler.
 func NewHybrid(p HybridParams) *Hybrid {
 	conc := make(map[int]bool, len(p.ConcurrentVMs))
+	var ids []string
 	for _, vm := range p.ConcurrentVMs {
+		if !conc[vm] {
+			ids = append(ids, fmt.Sprintf("%d", vm))
+		}
 		conc[vm] = true
 	}
-	return &Hybrid{timeslice: p.Timeslice, concurrent: conc}
+	sort.Strings(ids)
+	name := "Hybrid"
+	if len(ids) > 0 {
+		name = "Hybrid(co:" + strings.Join(ids, ",") + ")"
+	}
+	return &Hybrid{timeslice: p.Timeslice, concurrent: conc, name: name}
 }
 
 // Name implements core.Scheduler.
-func (h *Hybrid) Name() string {
-	if len(h.concurrent) == 0 {
-		return "Hybrid"
-	}
-	vms := make([]string, 0, len(h.concurrent))
-	for vm := range h.concurrent {
-		vms = append(vms, fmt.Sprintf("%d", vm))
-	}
-	sort.Strings(vms)
-	return "Hybrid(co:" + strings.Join(vms, ",") + ")"
-}
+func (h *Hybrid) Name() string { return h.name }
 
 // entity is one schedulable unit: a whole gang or a single VCPU.
 type entity struct {
@@ -62,7 +62,7 @@ type entity struct {
 // Schedule implements core.Scheduler.
 func (h *Hybrid) Schedule(_ int64, vcpus []core.VCPUView, pcpus []core.PCPUView, acts *core.Actions) {
 	byVM := core.SiblingsOf(vcpus)
-	vms := sortedVMs(byVM)
+	vms := core.VMs(vcpus)
 	var entities []entity
 	for _, vm := range vms {
 		if h.concurrent[vm] {

@@ -72,13 +72,13 @@ func (r *RelaxedCo) Name() string { return "RCS" }
 // Schedule implements core.Scheduler.
 func (r *RelaxedCo) Schedule(_ int64, vcpus []core.VCPUView, pcpus []core.PCPUView, acts *core.Actions) {
 	byVM := core.SiblingsOf(vcpus)
-	vms := sortedVMs(byVM)
+	vms := core.VMs(vcpus)
 	if r.skew == nil {
 		r.skew = make([]int64, len(vcpus))
 		r.coMode = make([]bool, len(vms))
 	}
 
-	r.updateSkews(vcpus, byVM)
+	r.updateSkews(vcpus, vms, byVM)
 	r.updateCoMode(vms, byVM)
 
 	vmIndex := make(map[int]int, len(vms))
@@ -139,8 +139,9 @@ func (r *RelaxedCo) Schedule(_ int64, vcpus []core.VCPUView, pcpus []core.PCPUVi
 // updateSkews advances the cumulative skew counters: +1 per tick a VCPU is
 // descheduled while a sibling runs; -1 (floored at zero) per tick it runs
 // or while its whole gang is stopped.
-func (r *RelaxedCo) updateSkews(vcpus []core.VCPUView, byVM map[int][]int) {
-	for _, gang := range byVM {
+func (r *RelaxedCo) updateSkews(vcpus []core.VCPUView, vms []int, byVM map[int][]int) {
+	for _, vm := range vms {
+		gang := byVM[vm]
 		anyActive := false
 		for _, id := range gang {
 			if vcpus[id].Status.Active() {

@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"sort"
-
 	"vcpusim/internal/core"
 )
 
@@ -38,7 +36,7 @@ func (s *StrictCo) Schedule(_ int64, vcpus []core.VCPUView, pcpus []core.PCPUVie
 		return
 	}
 	byVM := core.SiblingsOf(vcpus)
-	vms := sortedVMs(byVM)
+	vms := core.VMs(vcpus)
 	if len(vms) == 0 {
 		return
 	}
@@ -62,16 +60,6 @@ func (s *StrictCo) Schedule(_ int64, vcpus []core.VCPUView, pcpus []core.PCPUVie
 	if scheduledFirst >= 0 {
 		s.next = (scheduledFirst + 1) % len(vms)
 	}
-}
-
-// sortedVMs returns VM indices in ascending order.
-func sortedVMs(byVM map[int][]int) []int {
-	vms := make([]int, 0, len(byVM))
-	for vm := range byVM {
-		vms = append(vms, vm)
-	}
-	sort.Ints(vms)
-	return vms
 }
 
 // allInactive reports whether every listed VCPU is INACTIVE.

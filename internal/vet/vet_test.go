@@ -1,0 +1,150 @@
+package vet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fig8Config is a minimal valid experiment configuration (the paper's
+// Figure 8 setup under RCS).
+const fig8Config = `{
+  "pcpus": 2,
+  "timeslice": 30,
+  "scheduler": {"name": "RCS"},
+  "horizonTicks": 100,
+  "seed": 7,
+  "vms": [
+    {"name": "VM1", "vcpus": 2, "load": {"dist": "uniform", "low": 1, "high": 10}, "syncEveryN": 5},
+    {"name": "VM2", "vcpus": 1, "load": {"dist": "uniform", "low": 1, "high": 10}, "syncEveryN": 5}
+  ]
+}`
+
+func writeConfig(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "exp.json")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestModelLintCleanConfig(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-nosource", "-config", writeConfig(t, fig8Config)}
+	if err := Run(args, &b); err != nil {
+		t.Fatalf("clean config flagged: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "ok") {
+		t.Errorf("output missing ok line:\n%s", b.String())
+	}
+}
+
+func TestModelLintMissingConfig(t *testing.T) {
+	var b strings.Builder
+	if err := Run([]string{"-nosource", "-config", "does/not/exist.json"}, &b); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestFixturesDemo(t *testing.T) {
+	var b strings.Builder
+	if err := Run([]string{"-fixtures"}, &b); err != nil {
+		t.Fatalf("fixture demo failed: %v", err)
+	}
+	out := b.String()
+	// Every check kind fires on its defective fixture and every clean
+	// counterpart passes.
+	for _, want := range []string{
+		"case-weights", "unknown-link", "place-never-read",
+		"place-never-written", "dead-activity", "instant-cycle",
+		"unshared-join", "reward-ref", "isolated-place", ": clean",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fixture demo missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSourceLintRepoClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Run([]string{"-root", root}, &b); err != nil {
+		t.Fatalf("repository source flagged: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "ok") {
+		t.Errorf("output missing ok line:\n%s", b.String())
+	}
+}
+
+func TestSourceLintFindsDefects(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/fake\n\ngo 1.22\n",
+		"internal/des/clock.go": `package des
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	err := Run([]string{"-root", root}, &b)
+	if err == nil {
+		t.Fatalf("defective module passed:\n%s", b.String())
+	}
+	if !strings.Contains(err.Error(), "problem") {
+		t.Errorf("err = %v, want problem count", err)
+	}
+	if !strings.Contains(b.String(), "wall-clock") {
+		t.Errorf("output missing wall-clock finding:\n%s", b.String())
+	}
+}
+
+func TestUnexpectedArgument(t *testing.T) {
+	var b strings.Builder
+	if err := Run([]string{"extra"}, &b); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+}
+
+func TestNothingToVerifyRejected(t *testing.T) {
+	var b strings.Builder
+	if err := Run([]string{"-nosource"}, &b); err == nil {
+		t.Fatal("-nosource without -config silently verified nothing")
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root := t.TempDir()
+	nested := filepath.Join(root, "a", "b")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := findModuleRoot(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resolve symlinks before comparing (macOS /tmp style indirection).
+	wantResolved, _ := filepath.EvalSymlinks(root)
+	gotResolved, _ := filepath.EvalSymlinks(got)
+	if gotResolved != wantResolved {
+		t.Errorf("root = %q, want %q", got, root)
+	}
+}

@@ -1,0 +1,31 @@
+#!/bin/sh
+# verify.sh — the repo's full verification chain: formatting, go vet, the
+# project's own static verifiers (model + determinism lint), and the test
+# suite with the race detector on the internal packages.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== vcpusim vet (determinism lint + shipped model check)"
+go run ./cmd/vcpusim vet -config cmd/vcpusim/testdata/fig8.json
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/..."
+go test -race ./internal/...
+
+echo "verify.sh: all checks passed"
