@@ -1,0 +1,32 @@
+#!/bin/sh
+# bench.sh — run the engine microbenchmarks with allocation reporting, in a
+# benchstat-comparable format.
+#
+# Usage:
+#   ./bench.sh                # full run: -count=5, results to results/bench/
+#   ./bench.sh smoke          # one fast iteration of every benchmark (CI)
+#   ./bench.sh [out.txt]      # full run, tee to the given file
+#
+# Compare two recorded runs with `benchstat old.txt new.txt` (not vendored;
+# any benchstat-compatible tool works on the raw `go test -bench` output).
+# results/bench/baseline_pr2.txt holds the pre-incidence-index engine's
+# numbers for exactly that comparison.
+set -eu
+cd "$(dirname "$0")"
+
+PKGS="./internal/san ./internal/core ./internal/des"
+BENCH="BenchmarkRunner|BenchmarkScheduleAndStep|BenchmarkHeapChurn|BenchmarkCancel"
+
+case "${1:-}" in
+smoke)
+    # One abbreviated pass so CI catches benchmarks that fail to build or
+    # error out, without paying for stable numbers.
+    exec go test -run '^$' -bench "$BENCH" -benchtime 1x -benchmem $PKGS
+    ;;
+*)
+    out="${1:-results/bench/$(git rev-parse --short HEAD 2>/dev/null || echo local).txt}"
+    mkdir -p "$(dirname "$out")"
+    go test -run '^$' -bench "$BENCH" -benchtime 2s -count=5 -benchmem $PKGS | tee "$out"
+    echo "bench.sh: results written to $out" >&2
+    ;;
+esac

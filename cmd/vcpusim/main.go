@@ -140,9 +140,9 @@ func runSingle(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFacto
 
 // runReplicated executes CI-controlled replications.
 func runReplicated(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFactory, exp *config.Experiment) error {
-	rep := func(_ int, seed uint64) (map[string]float64, error) {
+	rep := func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
 		if exp.Engine == "san" {
-			return core.RunReplication(cfg, factory, float64(exp.HorizonTicks), seed)
+			return core.RunReplicationIntervalContext(ctx, cfg, factory, 0, float64(exp.HorizonTicks), seed)
 		}
 		return fastsim.RunReplication(cfg, factory, exp.HorizonTicks, seed)
 	}

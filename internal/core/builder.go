@@ -78,7 +78,7 @@ type vmRef struct {
 // processed (or held by a descheduled VCPU) in the VM.
 func (vm *vmRef) hasInFlightSync() bool {
 	for _, vc := range vm.vcpus {
-		s := vc.slot.Get()
+		s := vc.slot.Peek()
 		if s.SyncPoint && s.RemainingLoad > 0 {
 			return true
 		}
@@ -92,7 +92,7 @@ func (vm *vmRef) hasInFlightSync() bool {
 // preempted the VCPU mid-lock, so sibling VCPUs spin.
 func (vm *vmRef) lockHolderPreempted() bool {
 	for _, vc := range vm.vcpus {
-		s := vc.slot.Get()
+		s := vc.slot.Peek()
 		if s.SyncPoint && s.RemainingLoad > 0 && s.Status == Inactive {
 			return true
 		}
@@ -106,7 +106,7 @@ func (vm *vmRef) spinning(vc *vcpuRef) bool {
 	if vm.syncKind != workload.SyncSpinlock {
 		return false
 	}
-	s := vc.slot.Get()
+	s := vc.slot.Peek()
 	if s.Status != Busy {
 		return false
 	}
@@ -128,6 +128,14 @@ type System struct {
 	vcpus []*vcpuRef
 	pcpus *san.ExtPlace[[]int]
 	clock *san.Activity
+
+	// Per-tick scratch reused across schedulerStep calls so the hot path
+	// does not allocate: view slices handed to the Scheduler, the pending
+	// schedule-out mask, and the Actions accumulator.
+	viewBuf    []VCPUView
+	pviewBuf   []PCPUView
+	pendingOut []bool
+	acts       Actions
 }
 
 // Model returns the composed SAN model.
@@ -291,8 +299,7 @@ func buildVCPUActivities(sys *System, sub *san.Sub, vm *vmRef, vc *vcpuRef) {
 	proc.Link(san.LinkInput, vc.slot.Name())
 	proc.Link(san.LinkOutput, vm.numReady.Name())
 	proc.AddCase(nil, func() {
-		s := vc.slot.Get()
-		if s.Status != Busy {
+		if vc.slot.Peek().Status != Busy {
 			return
 		}
 		if vm.spinning(vc) {
@@ -300,6 +307,7 @@ func buildVCPUActivities(sys *System, sub *san.Sub, vm *vmRef, vc *vcpuRef) {
 			// descheduled, so this VCPU burns the tick without progress.
 			return
 		}
+		s := vc.slot.Get()
 		s.RemainingLoad--
 		if s.RemainingLoad <= 0 {
 			s.RemainingLoad = 0
@@ -350,9 +358,13 @@ func buildJobFlow(sys *System, wg, js *san.Sub, vm *vmRef) {
 	gen := wg.InstantActivity("Generate").Priority(prioGenerate)
 	gen.Link(san.LinkInput, vm.blocked.Name())
 	gen.Link(san.LinkInput, vm.numReady.Name())
+	// The predicate also reads the Workload place (the one-outstanding-
+	// workload test), so the runner's incidence index must see it as an
+	// input dependency, not just an output.
+	gen.Link(san.LinkInput, vm.pending.Name())
 	gen.Link(san.LinkOutput, vm.pending.Name())
 	gen.Predicate(func() bool {
-		return vm.blocked.Tokens() == 0 && vm.numReady.Tokens() > 0 && !vm.pending.Get().Present
+		return vm.blocked.Tokens() == 0 && vm.numReady.Tokens() > 0 && !vm.pending.Peek().Present
 	})
 	gen.AddCase(nil, func() { // the paper's WL_Output gate
 		w := vm.gen.Next()
@@ -366,7 +378,7 @@ func buildJobFlow(sys *System, wg, js *san.Sub, vm *vmRef) {
 	disp.Link(san.LinkInput, vm.pending.Name())
 	disp.Link(san.LinkInput, vm.numReady.Name())
 	disp.Predicate(func() bool {
-		w := vm.pending.Get()
+		w := vm.pending.Peek()
 		if !w.Present || vm.numReady.Tokens() == 0 {
 			return false
 		}
@@ -382,10 +394,10 @@ func buildJobFlow(sys *System, wg, js *san.Sub, vm *vmRef) {
 	disp.AddCase(nil, func() {
 		w := vm.pending.Get()
 		for _, vc := range vm.vcpus {
-			s := vc.slot.Get()
-			if s.Status != Ready {
+			if vc.slot.Peek().Status != Ready {
 				continue
 			}
+			s := vc.slot.Get()
 			s.RemainingLoad = w.Load
 			s.SyncPoint = w.Sync
 			s.Status = Busy
@@ -398,6 +410,12 @@ func buildJobFlow(sys *System, wg, js *san.Sub, vm *vmRef) {
 		*w = pendingWorkload{}
 	})
 	for _, vc := range vm.vcpus {
+		// Only the spinlock-mode predicate scans the sibling slots
+		// (hasInFlightSync); in the other sync modes the slots are pure
+		// outputs, so the dispatch is not reconsidered on every slot write.
+		if vm.syncKind == workload.SyncSpinlock {
+			disp.Link(san.LinkInput, vc.slot.Name())
+		}
 		disp.Link(san.LinkOutput, vc.slot.Name())
 	}
 
@@ -406,12 +424,16 @@ func buildJobFlow(sys *System, wg, js *san.Sub, vm *vmRef) {
 	unb := js.InstantActivity("Unblock").Priority(prioUnblock)
 	unb.Link(san.LinkInput, vm.blocked.Name())
 	unb.Link(san.LinkOutput, vm.blocked.Name()) // clears the sync barrier
+	for _, vc := range vm.vcpus {
+		// The predicate waits on every VCPU's remaining load.
+		unb.Link(san.LinkInput, vc.slot.Name())
+	}
 	unb.Predicate(func() bool {
 		if vm.blocked.Tokens() == 0 {
 			return false
 		}
 		for _, vc := range vm.vcpus {
-			if vc.slot.Get().RemainingLoad > 0 {
+			if vc.slot.Peek().RemainingLoad > 0 {
 				return false
 			}
 		}
@@ -429,21 +451,29 @@ func buildJobFlow(sys *System, wg, js *san.Sub, vm *vmRef) {
 // decisions (the paper's Scheduling_Func output gate calling the user's C
 // function through the standard interface).
 func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
-	now := *timestamp.Get()
-	pc := sys.pcpus.Get()
+	now := *timestamp.Peek()
+	pc := sys.pcpus.Peek()
 	n := len(sys.vcpus)
 
-	pendingOut := make([]bool, n)
+	if sys.pendingOut == nil {
+		sys.pendingOut = make([]bool, n)
+		sys.viewBuf = make([]VCPUView, n)
+		sys.pviewBuf = make([]PCPUView, len(*pc))
+	}
+	pendingOut := sys.pendingOut
+	for i := range pendingOut {
+		pendingOut[i] = false
+	}
 	if now > 0 { // no time has elapsed before the very first tick
 		for _, vc := range sys.vcpus {
-			h := vc.host.Get()
-			if h.PCPU < 0 {
+			if vc.host.Peek().PCPU < 0 {
 				continue
 			}
+			h := vc.host.Get()
 			h.Runtime++
 			h.Timeslice--
 			if h.Timeslice <= 0 {
-				(*pc)[h.PCPU] = -1
+				(*sys.pcpus.Get())[h.PCPU] = -1
 				h.PCPU = -1
 				vc.schedOut.Add(1)
 				pendingOut[vc.id] = true
@@ -451,10 +481,10 @@ func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
 		}
 	}
 
-	views := make([]VCPUView, n)
+	views := sys.viewBuf
 	for _, vc := range sys.vcpus {
-		s := vc.slot.Get()
-		h := vc.host.Get()
+		s := vc.slot.Peek()
+		h := vc.host.Peek()
 		status := s.Status
 		if pendingOut[vc.id] {
 			status = Inactive
@@ -472,14 +502,14 @@ func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
 			Runtime:         h.Runtime,
 		}
 	}
-	pviews := make([]PCPUView, len(*pc))
+	pviews := sys.pviewBuf
 	for i, v := range *pc {
 		pviews[i] = PCPUView{ID: i, VCPU: v}
 	}
 
-	var acts Actions
-	sys.sched.Schedule(now, views, pviews, &acts)
-	sys.applyActions(now, &acts)
+	sys.acts.reset()
+	sys.sched.Schedule(now, views, pviews, &sys.acts)
+	sys.applyActions(now, &sys.acts)
 
 	*timestamp.Get() = now + 1
 }
@@ -487,7 +517,7 @@ func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
 // applyActions validates and applies the scheduling function's decisions:
 // preemptions first, then assignments.
 func (sys *System) applyActions(now int64, acts *Actions) {
-	pc := sys.pcpus.Get()
+	pc := sys.pcpus.Peek()
 	for _, v := range acts.preempts {
 		if v < 0 || v >= len(sys.vcpus) {
 			sys.model.ReportError(fmt.Errorf("core: scheduler %q preempted unknown VCPU %d", sys.sched.Name(), v))
@@ -498,7 +528,7 @@ func (sys *System) applyActions(now int64, acts *Actions) {
 			sys.model.ReportError(fmt.Errorf("core: scheduler %q preempted inactive VCPU %d", sys.sched.Name(), v))
 			continue
 		}
-		(*pc)[h.PCPU] = -1
+		(*sys.pcpus.Get())[h.PCPU] = -1
 		h.PCPU = -1
 		h.Timeslice = 0
 		sys.vcpus[v].schedOut.Add(1)
@@ -524,7 +554,7 @@ func (sys *System) applyActions(now int64, acts *Actions) {
 			sys.model.ReportError(fmt.Errorf("core: scheduler %q assigned busy PCPU %d", sys.sched.Name(), a.PCPU))
 			continue
 		}
-		(*pc)[a.PCPU] = a.VCPU
+		(*sys.pcpus.Get())[a.PCPU] = a.VCPU
 		h.PCPU = a.PCPU
 		h.Timeslice = a.Timeslice
 		h.LastIn = now
@@ -551,13 +581,13 @@ func registerRewards(sys *System) {
 	for _, vc := range sys.vcpus {
 		vc := vc
 		m.AddRateReward(AvailabilityMetric(vc.vm, vc.sibling), func() float64 {
-			if vc.slot.Get().Status.Active() {
+			if vc.slot.Peek().Status.Active() {
 				return 1
 			}
 			return 0
 		}, vc.slot.Name())
 		m.AddRateReward(VCPUUtilizationMetric(vc.vm, vc.sibling), func() float64 {
-			if vc.slot.Get().Status == Busy {
+			if vc.slot.Peek().Status == Busy {
 				return 1
 			}
 			return 0
@@ -566,7 +596,7 @@ func registerRewards(sys *System) {
 	for p := 0; p < sys.cfg.PCPUs; p++ {
 		p := p
 		m.AddRateReward(PCPUUtilizationMetric(p), func() float64 {
-			if (*sys.pcpus.Get())[p] >= 0 {
+			if (*sys.pcpus.Peek())[p] >= 0 {
 				return 1
 			}
 			return 0
@@ -575,7 +605,7 @@ func registerRewards(sys *System) {
 	m.AddRateReward(AvailabilityAvgMetric, func() float64 {
 		active := 0
 		for _, vc := range sys.vcpus {
-			if vc.slot.Get().Status.Active() {
+			if vc.slot.Peek().Status.Active() {
 				active++
 			}
 		}
@@ -584,7 +614,7 @@ func registerRewards(sys *System) {
 	m.AddRateReward(VCPUUtilizationAvgMetric, func() float64 {
 		busy := 0
 		for _, vc := range sys.vcpus {
-			if vc.slot.Get().Status == Busy {
+			if vc.slot.Peek().Status == Busy {
 				busy++
 			}
 		}
@@ -592,7 +622,7 @@ func registerRewards(sys *System) {
 	}, slotNames...)
 	m.AddRateReward(PCPUUtilizationAvgMetric, func() float64 {
 		used := 0
-		for _, v := range *sys.pcpus.Get() {
+		for _, v := range *sys.pcpus.Peek() {
 			if v >= 0 {
 				used++
 			}
@@ -623,7 +653,7 @@ func registerRewards(sys *System) {
 		working := 0
 		for _, vm := range sys.vms {
 			for _, vc := range vm.vcpus {
-				if vc.slot.Get().Status == Busy && !vm.spinning(vc) {
+				if vc.slot.Peek().Status == Busy && !vm.spinning(vc) {
 					working++
 				}
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"maps"
 
@@ -13,12 +14,20 @@ import (
 // [0, horizon] ticks on the SAN engine, returning every rate reward's
 // time-averaged value keyed by metric name.
 func RunReplication(cfg SystemConfig, factory SchedulerFactory, horizon float64, seed uint64) (map[string]float64, error) {
-	return RunReplicationInterval(cfg, factory, 0, horizon, seed)
+	return RunReplicationIntervalContext(context.Background(), cfg, factory, 0, horizon, seed)
 }
 
 // RunReplicationInterval is RunReplication with transient removal: rewards
 // are measured over [warmup, horizon] only.
 func RunReplicationInterval(cfg SystemConfig, factory SchedulerFactory, warmup, horizon float64, seed uint64) (map[string]float64, error) {
+	return RunReplicationIntervalContext(context.Background(), cfg, factory, warmup, horizon, seed)
+}
+
+// RunReplicationIntervalContext is RunReplicationInterval with
+// cancellation: the replication's event loop checks ctx periodically, so a
+// cancelled experiment interrupts a long run instead of simulating to the
+// horizon.
+func RunReplicationIntervalContext(ctx context.Context, cfg SystemConfig, factory SchedulerFactory, warmup, horizon float64, seed uint64) (map[string]float64, error) {
 	if factory == nil {
 		return nil, fmt.Errorf("core: nil scheduler factory")
 	}
@@ -31,7 +40,7 @@ func RunReplicationInterval(cfg SystemConfig, factory SchedulerFactory, warmup, 
 	if err != nil {
 		return nil, err
 	}
-	res, err := runner.RunInterval(warmup, horizon)
+	res, err := runner.RunIntervalContext(ctx, warmup, horizon)
 	if err != nil {
 		return nil, err
 	}

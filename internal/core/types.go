@@ -127,6 +127,12 @@ func (a *Actions) Preempts() []int { return append([]int(nil), a.preempts...) }
 // Empty reports whether no decision was recorded.
 func (a *Actions) Empty() bool { return len(a.assigns) == 0 && len(a.preempts) == 0 }
 
+// reset clears the recorded decisions, retaining capacity for reuse.
+func (a *Actions) reset() {
+	a.assigns = a.assigns[:0]
+	a.preempts = a.preempts[:0]
+}
+
 // Scheduler is the pluggable VCPU scheduling algorithm, the Go counterpart
 // of the paper's C function-call interface. Schedule is invoked once per
 // clock tick after timeslice accounting; vcpus and pcpus describe the

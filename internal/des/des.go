@@ -95,6 +95,45 @@ func (k *Kernel) ScheduleAfter(delay float64, priority int, name string, handler
 	return k.Schedule(k.now+delay, priority, name, handler)
 }
 
+// NewEvent returns an unqueued event bound to a fixed priority, name, and
+// handler. The same event can be enqueued repeatedly through
+// ScheduleEventAt/ScheduleEventAfter — after it fires or is cancelled it is
+// free for reuse — so callers with a known activation set (one completion
+// event per timed activity, say) schedule without per-activation
+// allocation.
+func (k *Kernel) NewEvent(priority int, name string, handler Handler) (*Event, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("des: nil handler for event %q", name)
+	}
+	return &Event{priority: priority, name: name, handler: handler, index: -1}, nil
+}
+
+// ScheduleEventAt enqueues a reusable event (from NewEvent) at absolute
+// time t. A fresh sequence number is drawn, so same-time ordering is
+// identical to scheduling a newly allocated event. It returns ErrPast if t
+// precedes the current time and an error if the event is still pending.
+func (k *Kernel) ScheduleEventAt(ev *Event, t float64) error {
+	if ev == nil || ev.handler == nil {
+		return fmt.Errorf("des: schedule of nil or handlerless event")
+	}
+	if ev.index >= 0 {
+		return fmt.Errorf("des: event %q rescheduled while pending", ev.name)
+	}
+	if t < k.now {
+		return fmt.Errorf("%w: %g < now %g (%s)", ErrPast, t, k.now, ev.name)
+	}
+	k.seq++
+	ev.time = t
+	ev.seq = k.seq
+	heap.Push(&k.queue, ev)
+	return nil
+}
+
+// ScheduleEventAfter enqueues a reusable event delay time units from now.
+func (k *Kernel) ScheduleEventAfter(ev *Event, delay float64) error {
+	return k.ScheduleEventAt(ev, k.now+delay)
+}
+
 // Cancel removes a pending event from the event list. Cancelling an event
 // that already fired or was already cancelled is a no-op.
 func (k *Kernel) Cancel(ev *Event) {

@@ -1,0 +1,142 @@
+package des
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestEventReuseAfterFire verifies the reusable-event cycle: schedule,
+// fire, schedule again — the same Event object serves many activations.
+func TestEventReuseAfterFire(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	ev, err := k.NewEvent(0, "tick", func() { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Pending() {
+		t.Fatal("fresh event reports pending")
+	}
+	for i := 0; i < 5; i++ {
+		if err := k.ScheduleEventAfter(ev, 1); err != nil {
+			t.Fatalf("activation %d: %v", i, err)
+		}
+		if !ev.Pending() {
+			t.Fatalf("activation %d: scheduled event not pending", i)
+		}
+		if !k.Step() {
+			t.Fatalf("activation %d: nothing to fire", i)
+		}
+		if ev.Pending() {
+			t.Fatalf("activation %d: fired event still pending", i)
+		}
+	}
+	if fired != 5 {
+		t.Fatalf("fired %d times, want 5", fired)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("now = %g, want 5", k.Now())
+	}
+}
+
+// TestEventReuseAfterCancel verifies a cancelled reusable event can be
+// scheduled again (the race-enabled disable/re-enable cycle).
+func TestEventReuseAfterCancel(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	ev, err := k.NewEvent(0, "maybe", func() { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ScheduleEventAt(ev, 10); err != nil {
+		t.Fatal(err)
+	}
+	k.Cancel(ev)
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+	if err := k.ScheduleEventAt(ev, 3); err != nil {
+		t.Fatal(err)
+	}
+	k.Step()
+	if fired != 1 || k.Now() != 3 {
+		t.Fatalf("fired=%d now=%g, want the rescheduled activation at t=3", fired, k.Now())
+	}
+}
+
+// TestEventDoubleScheduleRejected verifies scheduling a pending reusable
+// event is an error rather than silent queue corruption.
+func TestEventDoubleScheduleRejected(t *testing.T) {
+	k := NewKernel()
+	ev, err := k.NewEvent(0, "dup", func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ScheduleEventAt(ev, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ScheduleEventAt(ev, 2); err == nil {
+		t.Fatal("double schedule accepted")
+	}
+}
+
+// TestEventSchedulePastRejected verifies ErrPast applies to reusable
+// events too.
+func TestEventSchedulePastRejected(t *testing.T) {
+	k := NewKernel()
+	done, err := k.Schedule(5, 0, "advance", func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = done
+	k.Step()
+	ev, err := k.NewEvent(0, "late", func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ScheduleEventAt(ev, 3); !errors.Is(err, ErrPast) {
+		t.Fatalf("err = %v, want ErrPast", err)
+	}
+}
+
+// TestEventNilHandlerRejected mirrors the Schedule validation for the
+// reusable-event constructor.
+func TestEventNilHandlerRejected(t *testing.T) {
+	k := NewKernel()
+	if _, err := k.NewEvent(0, "nil", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if err := k.ScheduleEventAt(nil, 1); err == nil {
+		t.Fatal("nil event accepted")
+	}
+}
+
+// TestEventReuseOrderingParity verifies reusable events draw fresh
+// sequence numbers: a reused event scheduled after a fresh event at the
+// same (time, priority) fires after it, exactly as a newly allocated event
+// would.
+func TestEventReuseOrderingParity(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	reused, err := k.NewEvent(0, "reused", func() { order = append(order, "reused") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First activation, alone, to give the reused event an old seq.
+	if err := k.ScheduleEventAt(reused, 1); err != nil {
+		t.Fatal(err)
+	}
+	k.Step()
+	// Now a fresh event first, then the reused one, both at t=2.
+	if _, err := k.Schedule(2, 0, "fresh", func() { order = append(order, "fresh") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ScheduleEventAt(reused, 2); err != nil {
+		t.Fatal(err)
+	}
+	k.Step()
+	k.Step()
+	if len(order) != 3 || order[1] != "fresh" || order[2] != "reused" {
+		t.Fatalf("firing order %v, want [reused fresh reused] (scheduling order at equal time)", order)
+	}
+}

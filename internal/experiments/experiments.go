@@ -180,14 +180,17 @@ const EfficiencyMetric = "vutil_per_active/avg"
 // replicator builds a sim.Replicator for one (config, algorithm) cell,
 // adding the derived efficiency metric.
 func (p Params) replicator(cfg core.SystemConfig, factory core.SchedulerFactory) sim.Replicator {
-	return func(_ int, seed uint64) (map[string]float64, error) {
+	return func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var (
 			m   map[string]float64
 			err error
 		)
 		switch p.Engine {
 		case EngineSAN:
-			m, err = core.RunReplicationInterval(cfg, factory, float64(p.Warmup), float64(p.Horizon), seed)
+			m, err = core.RunReplicationIntervalContext(ctx, cfg, factory, float64(p.Warmup), float64(p.Horizon), seed)
 		case EngineFast:
 			m, err = fastsim.RunReplicationInterval(cfg, factory, p.Warmup, p.Horizon, seed)
 		default:

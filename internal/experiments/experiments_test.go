@@ -211,7 +211,7 @@ func TestEfficiencyMetricDerivation(t *testing.T) {
 		t.Fatal(err)
 	}
 	rep := p.replicator(cfg, factory)
-	m, err := rep(0, 7)
+	m, err := rep(context.Background(), 0, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

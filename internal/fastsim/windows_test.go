@@ -98,7 +98,7 @@ func TestBatchMeansFromWindows(t *testing.T) {
 	}
 	// The single-run batch-means estimate must agree with independent
 	// replications of the same system within the joint uncertainty.
-	reps, err := sim.Run(testContext(t), func(_ int, seed uint64) (map[string]float64, error) {
+	reps, err := sim.Run(testContext(t), func(_ context.Context, _ int, seed uint64) (map[string]float64, error) {
 		return RunReplicationInterval(cfg, func() core.Scheduler { return sched.NewRoundRobin(15) }, 500, 20500, seed)
 	}, sim.Options{Seed: 77, MinReps: 10, MaxReps: 20})
 	if err != nil {

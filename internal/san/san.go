@@ -40,6 +40,7 @@ type Place struct {
 	name    string
 	initial int
 	tokens  int
+	id      int // index into the model's place list (incidence indexing)
 	model   *Model
 	joins   []string // submodels sharing this place
 }
@@ -58,6 +59,9 @@ func (p *Place) SetTokens(n int) {
 		n = 0
 	}
 	p.tokens = n
+	if r := p.model.run; r != nil && r.tracking {
+		r.touchID(p.id)
+	}
 }
 
 // Add adds delta tokens (delta may be negative).
@@ -78,6 +82,8 @@ type ExtPlace[T any] struct {
 	name  string
 	init  func() T
 	value T
+	id    int // index into the model's extended-place list
+	model *Model
 	joins []string
 }
 
@@ -85,11 +91,29 @@ type ExtPlace[T any] struct {
 func (p *ExtPlace[T]) Name() string { return p.name }
 
 // Get returns a pointer to the current value so gates can read and mutate
-// it in place.
-func (p *ExtPlace[T]) Get() *T { return &p.value }
+// it in place. During gate execution the place is conservatively marked
+// dirty for the runner's incidence tracking; gate code that only reads the
+// value should use Peek instead.
+func (p *ExtPlace[T]) Get() *T {
+	if r := p.model.run; r != nil && r.tracking {
+		r.touchID(r.extBase + p.id)
+	}
+	return &p.value
+}
+
+// Peek returns a pointer to the current value for read-only access: unlike
+// Get it never marks the place dirty, so callers must not mutate through
+// it. Use it in enabling predicates, reward functions, and gate code that
+// inspects state it does not change.
+func (p *ExtPlace[T]) Peek() *T { return &p.value }
 
 // Set replaces the current value.
-func (p *ExtPlace[T]) Set(v T) { p.value = v }
+func (p *ExtPlace[T]) Set(v T) {
+	if r := p.model.run; r != nil && r.tracking {
+		r.touchID(r.extBase + p.id)
+	}
+	p.value = v
+}
 
 // Reset restores the initial value. It implements the node interface used
 // by the model.
@@ -297,6 +321,12 @@ type Model struct {
 	// notify, when set, is called on every recorded modeling error so a
 	// running Runner can fail fast instead of finishing with clamped state.
 	notify func(error)
+	// run, when set by a Runner, is notified of every place written (token
+	// places) or accessed mutably (extended places, via Get/Set) so it can
+	// maintain its dirty-place incidence sets. A direct field rather than a
+	// hook function: the runner-only-reacts-during-gate-execution check
+	// then inlines into the marking writes.
+	run *Runner
 }
 
 // NewModel creates an empty model.
@@ -439,7 +469,7 @@ func (s *Sub) qualify(name string) string { return s.name + "/" + name }
 func (s *Sub) Place(name string, initial int) *Place {
 	q := s.qualify(name)
 	s.model.claimName(q)
-	p := &Place{name: q, initial: initial, tokens: initial, model: s.model, joins: []string{s.name}}
+	p := &Place{name: q, initial: initial, tokens: initial, id: len(s.model.places), model: s.model, joins: []string{s.name}}
 	s.model.places = append(s.model.places, p)
 	return p
 }
@@ -466,7 +496,7 @@ func NewExtPlace[T any](s *Sub, name string, init func() T) *ExtPlace[T] {
 	if init == nil {
 		init = func() T { var zero T; return zero }
 	}
-	p := &ExtPlace[T]{name: q, init: init, value: init(), joins: []string{s.name}}
+	p := &ExtPlace[T]{name: q, init: init, value: init(), id: len(s.model.extPlaces), model: s.model, joins: []string{s.name}}
 	s.model.extPlaces = append(s.model.extPlaces, p)
 	return p
 }

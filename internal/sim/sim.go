@@ -20,8 +20,10 @@ import (
 
 // Replicator produces the reward-variable values of one replication.
 // Implementations must be safe for concurrent invocation with distinct
-// seeds (each call builds its own model).
-type Replicator func(rep int, seed uint64) (map[string]float64, error)
+// seeds (each call builds its own model), and should honor ctx so that a
+// cancelled experiment interrupts a long replication instead of letting
+// the whole batch run to its horizon.
+type Replicator func(ctx context.Context, rep int, seed uint64) (map[string]float64, error)
 
 // Options controls an experiment run. Zero values select the defaults
 // documented per field.
@@ -155,7 +157,7 @@ func Run(ctx context.Context, rep Replicator, opts Options) (Summary, error) {
 			// unless the batch already covers it.
 			batch = opts.MinReps - done
 		}
-		results, err := runBatch(rep, seeds[done:done+batch], done)
+		results, err := runBatch(ctx, rep, seeds[done:done+batch], done)
 		if err != nil {
 			return Summary{}, err
 		}
@@ -189,7 +191,7 @@ func Run(ctx context.Context, rep Replicator, opts Options) (Summary, error) {
 
 // runBatch executes one batch of replications concurrently, preserving
 // replication order in the returned slice.
-func runBatch(rep Replicator, seeds []uint64, base int) ([]map[string]float64, error) {
+func runBatch(ctx context.Context, rep Replicator, seeds []uint64, base int) ([]map[string]float64, error) {
 	results := make([]map[string]float64, len(seeds))
 	errs := make([]error, len(seeds))
 	var wg sync.WaitGroup
@@ -198,7 +200,7 @@ func runBatch(rep Replicator, seeds []uint64, base int) ([]map[string]float64, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, err := rep(base+i, seeds[i])
+			r, err := rep(ctx, base+i, seeds[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("sim: replication %d: %w", base+i, err)
 				return

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"vcpusim/internal/rng"
 )
@@ -14,7 +16,7 @@ import (
 // noisyReplicator produces a metric with mean `mean` and bounded noise
 // derived deterministically from the seed.
 func noisyReplicator(mean, noise float64) Replicator {
-	return func(_ int, seed uint64) (map[string]float64, error) {
+	return func(_ context.Context, _ int, seed uint64) (map[string]float64, error) {
 		src := rng.New(seed)
 		return map[string]float64{
 			"m": mean + noise*(src.Float64()-0.5),
@@ -87,7 +89,7 @@ func TestRunDeterministicAcrossParallelism(t *testing.T) {
 func TestRunSeedsDistinct(t *testing.T) {
 	var mu atomic.Int64
 	seen := make(chan uint64, 64)
-	rep := func(_ int, seed uint64) (map[string]float64, error) {
+	rep := func(_ context.Context, _ int, seed uint64) (map[string]float64, error) {
 		mu.Add(1)
 		seen <- seed
 		return map[string]float64{"m": 1}, nil
@@ -111,7 +113,7 @@ func TestRunSeedsDistinct(t *testing.T) {
 
 func TestRunPropagatesErrors(t *testing.T) {
 	boom := errors.New("boom")
-	rep := func(i int, _ uint64) (map[string]float64, error) {
+	rep := func(_ context.Context, i int, _ uint64) (map[string]float64, error) {
 		if i == 3 {
 			return nil, boom
 		}
@@ -157,7 +159,7 @@ func TestOptionsValidation(t *testing.T) {
 
 func TestStopMetricsSubset(t *testing.T) {
 	// Metric "noisy" never converges, but stopping gates only on "flat".
-	rep := func(_ int, seed uint64) (map[string]float64, error) {
+	rep := func(_ context.Context, _ int, seed uint64) (map[string]float64, error) {
 		src := rng.New(seed)
 		return map[string]float64{
 			"flat":  100,
@@ -194,7 +196,7 @@ func TestStopMetricsMissingNeverConverges(t *testing.T) {
 }
 
 func TestSummaryHelpers(t *testing.T) {
-	sum, err := Run(context.Background(), func(_ int, _ uint64) (map[string]float64, error) {
+	sum, err := Run(context.Background(), func(_ context.Context, _ int, _ uint64) (map[string]float64, error) {
 		return map[string]float64{"b": 2, "a": 1}, nil
 	}, Options{Seed: 1, MinReps: 3, MaxReps: 3, RelWidth: 100})
 	if err != nil {
@@ -215,7 +217,7 @@ func TestSummaryHelpers(t *testing.T) {
 func TestZeroMeanMetricConverges(t *testing.T) {
 	// A constant-zero metric (e.g. SCS's starved VM availability) must
 	// not block convergence: 0 ± 0 has zero relative width.
-	rep := func(_ int, seed uint64) (map[string]float64, error) {
+	rep := func(_ context.Context, _ int, seed uint64) (map[string]float64, error) {
 		src := rng.New(seed)
 		return map[string]float64{
 			"zero": 0,
@@ -235,7 +237,7 @@ func TestReplicationIndexPassed(t *testing.T) {
 	var calls []int
 	mu := make(chan struct{}, 1)
 	mu <- struct{}{}
-	rep := func(i int, _ uint64) (map[string]float64, error) {
+	rep := func(_ context.Context, i int, _ uint64) (map[string]float64, error) {
 		<-mu
 		calls = append(calls, i)
 		mu <- struct{}{}
@@ -257,7 +259,7 @@ func TestReplicationIndexPassed(t *testing.T) {
 
 func TestLargeBatchClampsToMaxReps(t *testing.T) {
 	count := atomic.Int64{}
-	rep := func(_ int, seed uint64) (map[string]float64, error) {
+	rep := func(_ context.Context, _ int, seed uint64) (map[string]float64, error) {
 		count.Add(1)
 		src := rng.New(seed)
 		return map[string]float64{"m": src.Float64()}, nil
@@ -274,10 +276,41 @@ func TestLargeBatchClampsToMaxReps(t *testing.T) {
 }
 
 func ExampleRun() {
-	rep := func(_ int, seed uint64) (map[string]float64, error) {
+	rep := func(_ context.Context, _ int, seed uint64) (map[string]float64, error) {
 		return map[string]float64{"answer": 42}, nil
 	}
 	sum, _ := Run(context.Background(), rep, Options{Seed: 1, MinReps: 3, MaxReps: 3, RelWidth: 100})
 	fmt.Println(sum.Replications, sum.Mean("answer"))
 	// Output: 3 42
+}
+
+// TestCancellationInterruptsBlockedReplication verifies ctx reaches the
+// replicator: a replication blocked mid-run (here on ctx.Done itself,
+// standing in for a long event loop that polls ctx) unblocks as soon as
+// the experiment is cancelled, instead of the executive waiting a full
+// batch for it.
+func TestCancellationInterruptsBlockedReplication(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	rep := func(ctx context.Context, _ int, _ uint64) (map[string]float64, error) {
+		once.Do(func() { close(started) })
+		<-ctx.Done() // a conforming replicator returns once cancelled
+		return nil, ctx.Err()
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, rep, Options{Seed: 1, MinReps: 2, MaxReps: 4, Parallelism: 2})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not interrupt the blocked replication batch")
+	}
 }

@@ -222,18 +222,26 @@ func (tw *TimeWeighted) Start(t, v float64) {
 }
 
 // Observe records that the signal changed to v at time t. Time must be
-// non-decreasing.
+// non-decreasing. The running case is branch-plus-arithmetic so Observe
+// inlines into reward-observation loops; first observation and the
+// time-regression panic live in the cold helper.
 func (tw *TimeWeighted) Observe(t, v float64) {
-	if !tw.started {
-		tw.Start(t, v)
+	if !tw.started || t < tw.lastT {
+		tw.observeSlow(t, v)
 		return
-	}
-	if t < tw.lastT {
-		panic(fmt.Sprintf("stats: TimeWeighted time went backwards: %g < %g", t, tw.lastT))
 	}
 	tw.integral += tw.lastV * (t - tw.lastT)
 	tw.lastT = t
 	tw.lastV = v
+}
+
+//go:noinline
+func (tw *TimeWeighted) observeSlow(t, v float64) {
+	if !tw.started {
+		tw.Start(t, v)
+		return
+	}
+	panic(fmt.Sprintf("stats: TimeWeighted time went backwards: %g < %g", t, tw.lastT))
 }
 
 // MeanAt returns the time average of the signal over [start, t].

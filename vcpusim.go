@@ -245,7 +245,10 @@ func BatchMeans(windows []map[string]float64, level float64) (Summary, error) {
 // the scheduler (95 % confidence, <0.1 relative half-width by default, the
 // paper's settings) and returns per-metric intervals.
 func Replicate(ctx context.Context, cfg SystemConfig, factory SchedulerFactory, horizon int64, opts SimOptions) (Summary, error) {
-	rep := func(_ int, seed uint64) (map[string]float64, error) {
+	rep := func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return fastsim.RunReplication(cfg, factory, horizon, seed)
 	}
 	return sim.Run(ctx, rep, opts)

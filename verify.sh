@@ -28,4 +28,7 @@ go test ./...
 echo "== go test -race ./internal/..."
 go test -race ./internal/...
 
+echo "== bench smoke (./bench.sh smoke)"
+./bench.sh smoke
+
 echo "verify.sh: all checks passed"
