@@ -5,6 +5,9 @@
 # Usage:
 #   ./bench.sh                # full run: -count=5, results to results/bench/
 #   ./bench.sh smoke          # one fast iteration of every benchmark (CI)
+#   ./bench.sh -setup [out]   # replication-setup cost only: the fresh
+#                             # build+compile path vs the pooled reseed+reset
+#                             # path (the compile-once executive's A/B)
 #   ./bench.sh [out.txt]      # full run, tee to the given file
 #
 # Compare two recorded runs with `benchstat old.txt new.txt` (not vendored;
@@ -21,7 +24,19 @@ case "${1:-}" in
 smoke)
     # One abbreviated pass so CI catches benchmarks that fail to build or
     # error out, without paying for stable numbers.
-    exec go test -run '^$' -bench "$BENCH" -benchtime 1x -benchmem $PKGS
+    exec go test -run '^$' -bench "$BENCH|BenchmarkReplicationSetup|BenchmarkTQuantile" \
+        -benchtime 1x -benchmem $PKGS ./internal/stats
+    ;;
+-setup)
+    out="${2:-}"
+    cmd="go test -run ^\$ -bench BenchmarkReplicationSetup -benchtime 1s -count=5 -benchmem ./internal/core"
+    if [ -n "$out" ]; then
+        mkdir -p "$(dirname "$out")"
+        $cmd | tee "$out"
+        echo "bench.sh: setup results written to $out" >&2
+    else
+        $cmd
+    fi
     ;;
 *)
     out="${1:-results/bench/$(git rev-parse --short HEAD 2>/dev/null || echo local).txt}"

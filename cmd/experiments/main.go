@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"vcpusim/internal/experiments"
 	"vcpusim/internal/report"
@@ -36,15 +38,17 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		figure  = fs.String("figure", "all", "which experiment: 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, or all")
-		engine  = fs.String("engine", "fast", `simulation engine: "fast" or "san"`)
-		seed    = fs.Uint64("seed", 1, "experiment seed")
-		horizon = fs.Int64("horizon", 20000, "simulated ticks per replication")
-		minRep  = fs.Int("min-reps", 10, "minimum replications per cell")
-		maxRep  = fs.Int("max-reps", 60, "maximum replications per cell")
-		csvDir  = fs.String("csv", "", "directory to also write per-table CSV files into")
-		chart   = fs.Bool("chart", false, "render results as ASCII bar charts instead of tables")
-		quick   = fs.Bool("quick", false, "quick mode: short horizon and few replications (smoke testing)")
+		figure   = fs.String("figure", "all", "which experiment: 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, or all")
+		engine   = fs.String("engine", "fast", `simulation engine: "fast" or "san"`)
+		seed     = fs.Uint64("seed", 1, "experiment seed")
+		horizon  = fs.Int64("horizon", 20000, "simulated ticks per replication")
+		minRep   = fs.Int("min-reps", 10, "minimum replications per cell")
+		maxRep   = fs.Int("max-reps", 60, "maximum replications per cell")
+		csvDir   = fs.String("csv", "", "directory to also write per-table CSV files into")
+		chart    = fs.Bool("chart", false, "render results as ASCII bar charts instead of tables")
+		quick    = fs.Bool("quick", false, "quick mode: short horizon and few replications (smoke testing)")
+		parallel = fs.Int("parallel", 1, "number of experiment grid cells run concurrently per figure (results are identical at any value)")
+		progress = fs.Bool("progress", false, "print a per-cell progress line to stderr as cells finish")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,8 +63,24 @@ func run(args []string, out io.Writer) error {
 		p.Horizon = 4000
 		p.Sim = sim.Options{MinReps: 3, MaxReps: 3, RelWidth: 10}
 	}
+	p.GridParallelism = *parallel
+	if *progress {
+		// Cells finish out of order under -parallel > 1; each line names
+		// its cell so the interleaving stays readable.
+		p.Progress = func(c experiments.CellResult) {
+			status := "converged"
+			if !c.Converged {
+				status = "budget exhausted"
+			}
+			fmt.Fprintf(os.Stderr, "cell %-45s %3d reps, %s, %s\n",
+				c.Cell, c.Replications, status, c.Elapsed.Round(time.Millisecond))
+		}
+	}
 
-	ctx := context.Background()
+	// Ctrl-C cancels the grid: in-flight cells stop at their next
+	// cancellation check instead of simulating to the horizon.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	type job struct {
 		name string
 		run  func() ([]*report.Table, error)

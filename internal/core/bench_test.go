@@ -97,3 +97,58 @@ func BenchmarkRunnerSpinlock(b *testing.B) {
 		b.ReportMetric(float64(events)/sec, "events/s")
 	}
 }
+
+// BenchmarkReplicationSetupFresh measures the per-replication setup cost
+// of the fresh path — build the system, compile the program, allocate an
+// instance, reset — which is the bill every replication paid before the
+// compile-once executive.
+func BenchmarkReplicationSetupFresh(b *testing.B) {
+	cfg := benchFig8Config(2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src := rng.New(uint64(i) + 1)
+		sys, err := core.BuildSystem(cfg, sched.NewRoundRobin(30), src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := san.Compile(sys.Model())
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst, err := prog.NewInstance()
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst.Reset(src.Uint64())
+	}
+}
+
+// BenchmarkReplicationSetupPooled measures the per-replication setup cost
+// of the pooled path — reseed the workload streams, swap in a fresh
+// scheduler, reset the instance — with the build and compile amortized
+// away.
+func BenchmarkReplicationSetupPooled(b *testing.B) {
+	cfg := benchFig8Config(2)
+	src := rng.New(1)
+	sys, err := core.BuildSystem(cfg, sched.NewRoundRobin(30), src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := san.Compile(sys.Model())
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reseed(uint64(i) + 1)
+		if err := sys.Reseed(sched.NewRoundRobin(30), src); err != nil {
+			b.Fatal(err)
+		}
+		inst.Reset(src.Uint64())
+	}
+}

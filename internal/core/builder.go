@@ -147,6 +147,28 @@ func (s *System) Config() SystemConfig { return s.cfg }
 // Scheduler returns the plugged-in scheduling algorithm.
 func (s *System) Scheduler() Scheduler { return s.sched }
 
+// Reseed re-derives the system's per-replication state exactly as a fresh
+// BuildSystem with the same source would: each VM's workload-generator
+// stream is re-split off src in VM definition order, and sched replaces
+// the plugged-in scheduler (algorithm state must not survive into the next
+// replication, so callers pass a freshly constructed one). The caller
+// draws the executive's seed from src afterwards, matching the fresh
+// build's draw order, so a reseeded system replays a replication
+// bit-identically.
+func (s *System) Reseed(sched Scheduler, src *rng.Source) error {
+	if sched == nil {
+		return fmt.Errorf("core: nil scheduler")
+	}
+	if src == nil {
+		return fmt.Errorf("core: nil random source")
+	}
+	for _, vm := range s.vms {
+		vm.gen.Reseed(src.Uint64())
+	}
+	s.sched = sched
+	return nil
+}
+
 // BuildSystem composes the full virtualization-system model (the paper's
 // Figure 7 structure): one VCPU-scheduler sub-model plus one VM composed
 // model per VMConfig, each consisting of a workload generator, a job

@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"vcpusim/internal/core"
+	"vcpusim/internal/sched"
+)
+
+// TestPooledEquivalence verifies a Worker reused across replications
+// reproduces the fresh build-per-replication path bit for bit: for every
+// golden cell and a run of seeds (with repeats), the pooled metrics must
+// equal RunReplication's at full float precision.
+func TestPooledEquivalence(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := core.NewWorker(tc.cfg, tc.factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const horizon = 2000
+			seeds := []uint64{tc.seed, tc.seed + 1, 99, tc.seed} // repeat: no memory across resets
+			for i, seed := range seeds {
+				want, err := core.RunReplication(tc.cfg, tc.factory, horizon, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := w.Run(horizon, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("rep %d seed %d: pooled has %d metrics, fresh %d", i, seed, len(got), len(want))
+				}
+				for name, fv := range want {
+					pv, ok := got[name]
+					if !ok {
+						t.Fatalf("rep %d seed %d: pooled missing metric %s", i, seed, name)
+					}
+					if pv != fv {
+						// Hex floats make a one-ULP drift visible.
+						t.Errorf("rep %d seed %d metric %s: pooled %s, fresh %s",
+							i, seed, name,
+							strconv.FormatFloat(pv, 'x', -1, 64),
+							strconv.FormatFloat(fv, 'x', -1, 64))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPooledEquivalenceWithWarmup covers the interval path: warmup
+// snapshotting must also replay identically through a reused worker.
+func TestPooledEquivalenceWithWarmup(t *testing.T) {
+	cfg := benchFig8Config(2)
+	factory := func() core.Scheduler { return sched.NewRoundRobin(30) }
+	w, err := core.NewWorker(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmup, horizon = 300, 2000
+	for _, seed := range []uint64{1, 5, 1} {
+		want, err := core.RunReplicationInterval(cfg, factory, warmup, horizon, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.RunIntervalContext(context.Background(), warmup, horizon, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, fv := range want {
+			if pv := got[name]; pv != fv {
+				t.Errorf("seed %d metric %s: pooled %s, fresh %s", seed, name,
+					strconv.FormatFloat(pv, 'x', -1, 64),
+					strconv.FormatFloat(fv, 'x', -1, 64))
+			}
+		}
+	}
+}

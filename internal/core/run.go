@@ -2,11 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"maps"
-
-	"vcpusim/internal/rng"
-	"vcpusim/internal/san"
 )
 
 // RunReplication builds a fresh system model (a new scheduler instance and
@@ -27,25 +22,14 @@ func RunReplicationInterval(cfg SystemConfig, factory SchedulerFactory, warmup, 
 // cancellation: the replication's event loop checks ctx periodically, so a
 // cancelled experiment interrupts a long run instead of simulating to the
 // horizon.
+//
+// It is the one-shot form of the compile-once executive: a throwaway
+// Worker is built for the single replication, so the fresh and pooled
+// paths share one implementation and cannot drift apart.
 func RunReplicationIntervalContext(ctx context.Context, cfg SystemConfig, factory SchedulerFactory, warmup, horizon float64, seed uint64) (map[string]float64, error) {
-	if factory == nil {
-		return nil, fmt.Errorf("core: nil scheduler factory")
-	}
-	src := rng.New(seed)
-	sys, err := BuildSystem(cfg, factory(), src)
+	w, err := NewWorker(cfg, factory)
 	if err != nil {
 		return nil, err
 	}
-	runner, err := san.NewRunner(sys.Model(), src.Uint64())
-	if err != nil {
-		return nil, err
-	}
-	res, err := runner.RunIntervalContext(ctx, warmup, horizon)
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]float64, len(res.Rates)+len(res.Impulses))
-	maps.Copy(out, res.Rates)
-	maps.Copy(out, res.Impulses)
-	return out, nil
+	return w.RunIntervalContext(ctx, warmup, horizon, seed)
 }

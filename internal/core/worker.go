@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"maps"
+
+	"vcpusim/internal/rng"
+	"vcpusim/internal/san"
+)
+
+// Worker is the compile-once, run-many replication executive for one
+// experiment cell: the system model is built and compiled once
+// (NewWorker), and each replication then only reseeds the workload
+// streams, constructs a fresh scheduler, and resets the pooled
+// san.Instance — skipping the per-replication model-construction and
+// incidence-compilation bill entirely. Results are bit-identical to
+// building everything fresh per replication (RunReplication*): the reseed
+// replays the fresh build's RNG draw order exactly.
+//
+// A Worker is not goroutine-safe — the compiled model's marking is shared
+// mutable state — so replications through one Worker must run serially.
+// For parallel replications give each worker goroutine its own Worker
+// (sim.RunPooled does exactly that).
+type Worker struct {
+	sys     *System
+	inst    *san.Instance
+	factory SchedulerFactory
+	src     *rng.Source
+}
+
+// NewWorker builds and compiles the system for cfg once. The returned
+// worker runs any number of replications, each a pure function of its
+// seed.
+func NewWorker(cfg SystemConfig, factory SchedulerFactory) (*Worker, error) {
+	if factory == nil {
+		return nil, fmt.Errorf("core: nil scheduler factory")
+	}
+	// The build-time source is a placeholder: RunIntervalContext reseeds
+	// every stream from the replication seed before anything is sampled.
+	src := rng.New(0)
+	sys, err := BuildSystem(cfg, factory(), src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := san.Compile(sys.Model())
+	if err != nil {
+		return nil, err
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{sys: sys, inst: inst, factory: factory, src: src}, nil
+}
+
+// System returns the worker's compiled system. Its marking reflects the
+// last replication run; callers must not mutate it.
+func (w *Worker) System() *System { return w.sys }
+
+// RunIntervalContext executes one replication seeded with seed, measuring
+// rewards over [warmup, horizon] and honoring ctx cancellation. It is the
+// pooled equivalent of RunReplicationIntervalContext with the same
+// arguments, bit for bit.
+func (w *Worker) RunIntervalContext(ctx context.Context, warmup, horizon float64, seed uint64) (map[string]float64, error) {
+	w.src.Reseed(seed)
+	if err := w.sys.Reseed(w.factory(), w.src); err != nil {
+		return nil, err
+	}
+	w.inst.Reset(w.src.Uint64())
+	res, err := w.inst.RunIntervalContext(ctx, warmup, horizon)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(res.Rates)+len(res.Impulses))
+	maps.Copy(out, res.Rates)
+	maps.Copy(out, res.Impulses)
+	return out, nil
+}
+
+// Run executes one replication over [0, horizon] with the given seed.
+func (w *Worker) Run(horizon float64, seed uint64) (map[string]float64, error) {
+	return w.RunIntervalContext(context.Background(), 0, horizon, seed)
+}

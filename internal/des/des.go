@@ -56,6 +56,25 @@ func NewKernel() *Kernel {
 // Now returns the current simulation time.
 func (k *Kernel) Now() float64 { return k.now }
 
+// Reset rewinds the kernel to its initial state: clock at zero, empty
+// event list, no events fired, not halted — and, critically for
+// determinism, the event-sequence counter restarts at zero so same-time
+// tie-breaking in a reused kernel matches a fresh one exactly. Events
+// still pending are dequeued and marked not-pending; reusable events from
+// NewEvent stay bound to their handlers and can be scheduled again. It
+// never allocates and retains the queue's capacity.
+func (k *Kernel) Reset() {
+	for i, ev := range k.queue {
+		ev.index = -1
+		k.queue[i] = nil
+	}
+	k.queue = k.queue[:0]
+	k.now = 0
+	k.seq = 0
+	k.fired = 0
+	k.halted = false
+}
+
 // Fired returns the number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 

@@ -78,9 +78,7 @@ func SkewSweep(ctx context.Context, p Params, enterSkews []int64) (*report.Table
 				ExitSkew:  enter / 2,
 			})
 		}
-		opts := p.Sim
-		opts.Seed = p.Seed
-		sum, err := sim.Run(ctx, p.replicator(cfg, core.SchedulerFactory(factory)), opts)
+		sum, err := p.runCell(ctx, cfg, core.SchedulerFactory(factory))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: skew sweep enter=%d: %w", enter, err)
 		}
@@ -127,9 +125,7 @@ func BalanceAblation(ctx context.Context, p Params) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts := p.Sim
-		opts.Seed = p.Seed
-		sum, err := sim.Run(ctx, p.replicator(cfg, factory), opts)
+		sum, err := p.runCell(ctx, cfg, factory)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: balance ablation %s: %w", algo, err)
 		}
@@ -184,9 +180,7 @@ func LockAblation(ctx context.Context, p Params) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts := p.Sim
-		opts.Seed = p.Seed
-		sum, err := sim.Run(ctx, p.replicator(cfg, factory), opts)
+		sum, err := p.runCell(ctx, cfg, factory)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: lock ablation %s: %w", algo, err)
 		}
@@ -313,9 +307,7 @@ func HybridAblation(ctx context.Context, p Params) (*report.Table, error) {
 		"Extension: hybrid scheduling (Weng et al.), lock-heavy 3-VCPU VM + independent 2-VCPU VM, 4 PCPUs",
 		"metric", rows, []string{"RRS", "SCS", "Hybrid(co:parallel)"})
 	for _, algo := range algos {
-		opts := p.Sim
-		opts.Seed = p.Seed
-		sum, err := sim.Run(ctx, p.replicator(cfg, algo.factory), opts)
+		sum, err := p.runCell(ctx, cfg, algo.factory)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: hybrid ablation %s: %w", algo.name, err)
 		}

@@ -13,6 +13,8 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"vcpusim/internal/core"
 	"vcpusim/internal/fastsim"
@@ -59,6 +61,31 @@ type Params struct {
 	// package defaults (95 % confidence, <0.1 relative half-width, 10-100
 	// replications), matching the paper's reported settings.
 	Sim sim.Options
+	// GridParallelism is the number of experiment grid cells (independent
+	// (config, algorithm) points of one figure) run concurrently; default
+	// 1 (serial). Cell results are identical at any setting: every cell's
+	// replication seeds derive from Seed alone, and tables are filled in a
+	// fixed order after the cells complete.
+	GridParallelism int
+	// Progress, when non-nil, is called once per completed grid cell —
+	// out of order when GridParallelism > 1. Calls are serialized, so the
+	// callback needs no locking, but it runs on the experiment's critical
+	// path and must not block for long.
+	Progress func(CellResult)
+}
+
+// CellResult describes one completed experiment grid cell for progress
+// reporting.
+type CellResult struct {
+	// Cell names the cell, e.g. "figure 8 RCS 3PCPU".
+	Cell string
+	// Replications is the number of replications the cell consumed.
+	Replications int
+	// Converged reports whether the cell met its CI target (as opposed to
+	// exhausting the replication budget).
+	Converged bool
+	// Elapsed is the cell's wall-clock duration.
+	Elapsed time.Duration
 }
 
 // Defaults returns the parameterization used for EXPERIMENTS.md.
@@ -92,6 +119,9 @@ func (p Params) withDefaults() Params {
 	}
 	if len(p.Algorithms) == 0 {
 		p.Algorithms = append([]string(nil), d.Algorithms...)
+	}
+	if p.GridParallelism == 0 {
+		p.GridParallelism = 1
 	}
 	return p
 }
@@ -177,8 +207,21 @@ func (p Params) schedFactory(name string) (core.SchedulerFactory, error) {
 // normalization.
 const EfficiencyMetric = "vutil_per_active/avg"
 
-// replicator builds a sim.Replicator for one (config, algorithm) cell,
-// adding the derived efficiency metric.
+// withEfficiency adds the derived EfficiencyMetric to a replication's
+// metric map and returns it.
+func withEfficiency(m map[string]float64) map[string]float64 {
+	if avail := m[core.AvailabilityAvgMetric]; avail > 0 {
+		m[EfficiencyMetric] = m[core.VCPUUtilizationAvgMetric] / avail
+	} else {
+		m[EfficiencyMetric] = 0
+	}
+	return m
+}
+
+// replicator builds a stateless sim.Replicator for one (config,
+// algorithm) cell, adding the derived efficiency metric. Every
+// replication pays the full model-construction cost; the pooled path
+// (replicatorFactory) is preferred for experiments.
 func (p Params) replicator(cfg core.SystemConfig, factory core.SchedulerFactory) sim.Replicator {
 	return func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
 		if err := ctx.Err(); err != nil {
@@ -199,13 +242,45 @@ func (p Params) replicator(cfg core.SystemConfig, factory core.SchedulerFactory)
 		if err != nil {
 			return nil, err
 		}
-		if avail := m[core.AvailabilityAvgMetric]; avail > 0 {
-			m[EfficiencyMetric] = m[core.VCPUUtilizationAvgMetric] / avail
-		} else {
-			m[EfficiencyMetric] = 0
-		}
-		return m, nil
+		return withEfficiency(m), nil
 	}
+}
+
+// replicatorFactory builds a sim.ReplicatorFactory for one (config,
+// algorithm) cell. On the SAN engine each sim worker slot gets its own
+// core.Worker — the model is built and compiled once per slot, and every
+// replication only reseeds it — which is where the compile-once
+// executive's speedup comes from. The fast engine's replicator is
+// stateless and shared across slots.
+func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerFactory) sim.ReplicatorFactory {
+	if p.Engine != EngineSAN {
+		rep := p.replicator(cfg, factory)
+		return func() (sim.Replicator, error) { return rep, nil }
+	}
+	return func() (sim.Replicator, error) {
+		w, err := core.NewWorker(cfg, factory)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			m, err := w.RunIntervalContext(ctx, float64(p.Warmup), float64(p.Horizon), seed)
+			if err != nil {
+				return nil, err
+			}
+			return withEfficiency(m), nil
+		}, nil
+	}
+}
+
+// runCell executes one (config, scheduler) experiment cell through the
+// pooled executive and returns the summary.
+func (p Params) runCell(ctx context.Context, cfg core.SystemConfig, factory core.SchedulerFactory) (sim.Summary, error) {
+	opts := p.Sim
+	opts.Seed = p.Seed
+	return sim.RunPooled(ctx, p.replicatorFactory(cfg, factory), opts)
 }
 
 // run executes one experiment cell and returns the summary.
@@ -214,9 +289,93 @@ func (p Params) run(ctx context.Context, cfg core.SystemConfig, algo string) (si
 	if err != nil {
 		return sim.Summary{}, err
 	}
-	opts := p.Sim
-	opts.Seed = p.Seed
-	return sim.Run(ctx, p.replicator(cfg, factory), opts)
+	return p.runCell(ctx, cfg, factory)
+}
+
+// gridJob is one cell of a figure's experiment grid: a name for
+// progress reporting plus the work itself. The run closure wraps its
+// own error with cell context, so runGrid can return it untouched.
+type gridJob struct {
+	name string
+	run  func(ctx context.Context) (sim.Summary, error)
+}
+
+// runGrid executes the grid cells with at most GridParallelism in
+// flight, returning summaries indexed like jobs. With GridParallelism 1
+// the cells run in order, exactly as the serial loops did. The first
+// cell error cancels the rest of the grid. Progress callbacks are
+// serialized but arrive in completion order.
+func (p Params) runGrid(ctx context.Context, jobs []gridJob) ([]sim.Summary, error) {
+	par := p.GridParallelism
+	if par < 1 {
+		par = 1
+	}
+	if par > len(jobs) {
+		par = len(jobs)
+	}
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	sums := make([]sim.Summary, len(jobs))
+	var progressMu sync.Mutex
+	runJob := func(i int) {
+		if err := gctx.Err(); err != nil {
+			fail(err)
+			return
+		}
+		start := time.Now()
+		sum, err := jobs[i].run(gctx)
+		if err != nil {
+			fail(err)
+			return
+		}
+		sums[i] = sum
+		if p.Progress != nil {
+			progressMu.Lock()
+			p.Progress(CellResult{
+				Cell:         jobs[i].name,
+				Replications: sum.Replications,
+				Converged:    sum.Converged,
+				Elapsed:      time.Since(start),
+			})
+			progressMu.Unlock()
+		}
+	}
+	if par == 1 {
+		for i := range jobs {
+			runJob(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runJob(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sums, nil
 }
 
 // Figure8 reproduces the paper's Figure 8: the availability of the four
@@ -241,20 +400,33 @@ func Figure8(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable(
 		"Figure 8: VCPU availability, 3 VMs (2+1+1 VCPUs), sync 1:5, 95% CI",
 		"setup", rows, vcpuCols)
-	for _, algo := range p.Algorithms {
-		for pcpus := 1; pcpus <= 4; pcpus++ {
-			sum, err := p.run(ctx, p.fig8Config(pcpus), algo)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 8 %s/%d PCPUs: %w", algo, pcpus, err)
+	jobs := make([]gridJob, len(rows))
+	for i, algo := range p.Algorithms {
+		for j := 0; j < 4; j++ {
+			algo, pcpus := algo, j+1
+			jobs[i*4+j] = gridJob{
+				name: "figure 8 " + rows[i*4+j],
+				run: func(ctx context.Context) (sim.Summary, error) {
+					sum, err := p.run(ctx, p.fig8Config(pcpus), algo)
+					if err != nil {
+						return sim.Summary{}, fmt.Errorf("experiments: figure 8 %s/%d PCPUs: %w", algo, pcpus, err)
+					}
+					return sum, nil
+				},
 			}
-			row := fmt.Sprintf("%s %dPCPU", algo, pcpus)
-			for i, col := range vcpuCols {
-				iv, ok := sum.Metric(vcpuMetrics[i])
-				if !ok {
-					return nil, fmt.Errorf("experiments: figure 8 missing metric %s", vcpuMetrics[i])
-				}
-				t.Set(row, col, iv)
+		}
+	}
+	sums, err := p.runGrid(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for r, sum := range sums {
+		for i, col := range vcpuCols {
+			iv, ok := sum.Metric(vcpuMetrics[i])
+			if !ok {
+				return nil, fmt.Errorf("experiments: figure 8 missing metric %s", vcpuMetrics[i])
 			}
+			t.Set(rows[r], col, iv)
 		}
 	}
 	t.AddNote("paper: RRS fair at every PCPU count; SCS starves the 2-VCPU VM at 1 PCPU; RCS schedules it but below the 1-VCPU VMs; co-schedulers converge to fairness by 4 PCPUs")
@@ -274,17 +446,33 @@ func Figure9(ctx context.Context, p Params) (*report.Table, error) {
 	t := report.NewTable(
 		"Figure 9: averaged PCPU utilization (4 PCPUs), sync 1:5, 95% CI",
 		"VM set", rows, p.Algorithms)
+	var jobs []gridJob
 	for _, s := range sets {
 		cfg, err := p.setConfig(s, 5)
 		if err != nil {
 			return nil, err
 		}
 		for _, algo := range p.Algorithms {
-			sum, err := p.run(ctx, cfg, algo)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 9 %s/%s: %w", s, algo, err)
-			}
-			iv, _ := sum.Metric(core.PCPUUtilizationAvgMetric)
+			s, cfg, algo := s, cfg, algo
+			jobs = append(jobs, gridJob{
+				name: fmt.Sprintf("figure 9 %s %s", s, algo),
+				run: func(ctx context.Context) (sim.Summary, error) {
+					sum, err := p.run(ctx, cfg, algo)
+					if err != nil {
+						return sim.Summary{}, fmt.Errorf("experiments: figure 9 %s/%s: %w", s, algo, err)
+					}
+					return sum, nil
+				},
+			})
+		}
+	}
+	sums, err := p.runGrid(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range sets {
+		for j, algo := range p.Algorithms {
+			iv, _ := sums[i*len(p.Algorithms)+j].Metric(core.PCPUUtilizationAvgMetric)
 			t.Set(s.String(), algo, iv)
 		}
 	}
@@ -314,6 +502,7 @@ func Figure10(ctx context.Context, p Params) (efficiency, absolute *report.Table
 	absolute = report.NewTable(
 		"Figure 10 (companion): absolute VCPU utilization of total time (4 PCPUs), 95% CI",
 		"setup", rows, p.Algorithms)
+	var jobs []gridJob
 	for _, s := range sets {
 		for _, n := range syncs {
 			cfg, cfgErr := p.setConfig(s, n)
@@ -322,15 +511,31 @@ func Figure10(ctx context.Context, p Params) (efficiency, absolute *report.Table
 			}
 			row := fmt.Sprintf("%s sync 1:%d", s, n)
 			for _, algo := range p.Algorithms {
-				sum, runErr := p.run(ctx, cfg, algo)
-				if runErr != nil {
-					return nil, nil, fmt.Errorf("experiments: figure 10 %s/%s: %w", row, algo, runErr)
-				}
-				ivEff, _ := sum.Metric(EfficiencyMetric)
-				ivAbs, _ := sum.Metric(core.VCPUUtilizationAvgMetric)
-				efficiency.Set(row, algo, ivEff)
-				absolute.Set(row, algo, ivAbs)
+				cfg, row, algo := cfg, row, algo
+				jobs = append(jobs, gridJob{
+					name: fmt.Sprintf("figure 10 %s %s", row, algo),
+					run: func(ctx context.Context) (sim.Summary, error) {
+						sum, err := p.run(ctx, cfg, algo)
+						if err != nil {
+							return sim.Summary{}, fmt.Errorf("experiments: figure 10 %s/%s: %w", row, algo, err)
+						}
+						return sum, nil
+					},
+				})
 			}
+		}
+	}
+	sums, err := p.runGrid(ctx, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, row := range rows {
+		for j, algo := range p.Algorithms {
+			sum := sums[i*len(p.Algorithms)+j]
+			ivEff, _ := sum.Metric(EfficiencyMetric)
+			ivAbs, _ := sum.Metric(core.VCPUUtilizationAvgMetric)
+			efficiency.Set(row, algo, ivEff)
+			absolute.Set(row, algo, ivAbs)
 		}
 	}
 	efficiency.AddNote("paper: equal at set1; SCS highest, RCS slightly below, RRS lowest and degrading as sync rate rises")
@@ -340,9 +545,7 @@ func Figure10(ctx context.Context, p Params) (efficiency, absolute *report.Table
 
 // cell is a generic helper for ablation tables.
 func (p Params) cell(ctx context.Context, t *report.Table, cfg core.SystemConfig, row, col, metric string, factory core.SchedulerFactory) error {
-	opts := p.Sim
-	opts.Seed = p.Seed
-	sum, err := sim.Run(ctx, p.replicator(cfg, factory), opts)
+	sum, err := p.runCell(ctx, cfg, factory)
 	if err != nil {
 		return fmt.Errorf("experiments: %s/%s: %w", row, col, err)
 	}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"vcpusim/internal/sim"
+)
+
+// TestSANPooledEquivalenceAcrossParallelism runs the same SAN-engine experiment
+// cell at replication parallelism 1 and 8 through the pooled executive
+// and requires identical summaries: pooling plus parallelism must not
+// perturb a single bit of the aggregates. (Run under -race in CI, this
+// also shakes out sharing between pooled workers.)
+func TestSANPooledEquivalenceAcrossParallelism(t *testing.T) {
+	base := quickParams()
+	base.Engine = EngineSAN
+	base.Horizon = 500
+	base.Sim = sim.Options{MinReps: 6, MaxReps: 6, RelWidth: 100}
+	runAt := func(par int) sim.Summary {
+		p := base
+		p.Sim.Parallelism = par
+		factory, err := p.schedFactory("RRS")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := p.withDefaults().runCell(context.Background(), p.fig8Config(2), factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+	serial, parallel := runAt(1), runAt(8)
+	if serial.Replications != parallel.Replications || serial.Converged != parallel.Converged {
+		t.Fatalf("shape differs: serial (%d reps, %v) vs parallel (%d reps, %v)",
+			serial.Replications, serial.Converged, parallel.Replications, parallel.Converged)
+	}
+	if len(serial.Metrics) != len(parallel.Metrics) {
+		t.Fatalf("metric sets differ: %d vs %d", len(serial.Metrics), len(parallel.Metrics))
+	}
+	for name, a := range serial.Metrics {
+		b, ok := parallel.Metrics[name]
+		if !ok {
+			t.Fatalf("parallel run missing metric %s", name)
+		}
+		// Exact equality: seeds are replication-indexed and results fold
+		// in replication order regardless of parallelism.
+		if a.Mean != b.Mean || a.HalfWidth != b.HalfWidth {
+			t.Errorf("metric %s: serial %v, parallel %v", name, a, b)
+		}
+	}
+}
+
+// TestGridParallelismEquivalence renders Figure 9 serially and with four
+// grid cells in flight; the tables must be byte-identical.
+func TestGridParallelismEquivalence(t *testing.T) {
+	render := func(par int) string {
+		p := quickParams()
+		p.GridParallelism = par
+		tbl, err := Figure9(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tbl.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial, parallel := render(1), render(4)
+	if serial != parallel {
+		t.Fatalf("figure 9 differs under grid parallelism:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestGridProgressCallback verifies every cell reports exactly once with
+// a usable payload, at any grid parallelism.
+func TestGridProgressCallback(t *testing.T) {
+	for _, par := range []int{1, 3} {
+		p := quickParams()
+		p.GridParallelism = par
+		seen := make(map[string]CellResult)
+		p.Progress = func(c CellResult) {
+			if _, dup := seen[c.Cell]; dup {
+				t.Errorf("cell %q reported twice", c.Cell)
+			}
+			seen[c.Cell] = c
+		}
+		if _, err := Figure9(context.Background(), p); err != nil {
+			t.Fatal(err)
+		}
+		wantCells := 3 * len(p.withDefaults().Algorithms) // 3 VM sets
+		if len(seen) != wantCells {
+			t.Fatalf("parallelism %d: %d progress reports, want %d", par, len(seen), wantCells)
+		}
+		for name, c := range seen {
+			if c.Replications < 2 || c.Elapsed <= 0 {
+				t.Errorf("cell %q reported implausible progress: %+v", name, c)
+			}
+		}
+	}
+}
+
+// TestGridCancellation verifies a cancelled context aborts the grid with
+// the context error instead of hanging or returning a partial table.
+func TestGridCancellation(t *testing.T) {
+	p := quickParams()
+	p.GridParallelism = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Figure9(ctx, p); err == nil {
+		t.Fatal("cancelled grid returned no error")
+	}
+}

@@ -24,11 +24,20 @@ type Source struct {
 // well-mixed non-zero state for any seed (including 0).
 func New(seed uint64) *Source {
 	var src Source
-	sm := seed
-	for i := range src.s {
-		sm, src.s[i] = splitMix64(sm)
-	}
+	src.Reseed(seed)
 	return &src
+}
+
+// Reseed re-initializes the source in place to the exact state New(seed)
+// produces, so pooled components can rewind their streams between
+// replications without reallocating. Reseed(u) on a child stream is
+// bit-identical to replacing it with parent.Split() when u came from the
+// same parent.Uint64() draw.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		sm, r.s[i] = splitMix64(sm)
+	}
 }
 
 // splitMix64 advances a SplitMix64 state and returns the next state and

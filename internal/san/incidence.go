@@ -34,6 +34,13 @@ func (b bitset) or(o bitset) {
 	}
 }
 
+// zero clears every bit, retaining capacity.
+func (b bitset) zero() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
 // setAll sets the first n bits.
 func (b bitset) setAll(n int) {
 	for i := 0; i < n; i++ {

@@ -1,0 +1,516 @@
+package san
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"vcpusim/internal/des"
+	"vcpusim/internal/rng"
+	"vcpusim/internal/stats"
+)
+
+// rateState is one rate reward's execution state, packed for the
+// observation loop that runs after every timed completion.
+type rateState struct {
+	tw  stats.TimeWeighted
+	fn  func() float64
+	val float64
+}
+
+// Instance is the mutable half of the compile-once executive: everything a
+// replication changes — the kernel and its reusable completion events, the
+// RNG stream, reward accumulators, dirty-candidate bitsets, and scratch
+// buffers. An Instance is armed by Reset(seed), which restores the model's
+// recorded initial marking and rewinds every accumulator, and consumed by
+// one Run*; Reset again to run the next replication. Resetting is cheap
+// (no allocation) and bit-identical to building a fresh Runner with the
+// same seed.
+//
+// Instances of the same Program share the model's marking; never run two
+// concurrently. For parallel replications give each worker its own
+// Program + Instance.
+type Instance struct {
+	prog   *Program
+	kernel *des.Kernel
+	src    *rng.Source
+
+	// Aliases of the program's immutable tables, copied here so the hot
+	// path dereferences one struct.
+	timed      []*actPlan
+	instants   []*actPlan
+	extBase    int
+	touchMasks []uint64
+	maskStride int
+	mask111    bool
+
+	// events holds the reusable completion event of each timed activity,
+	// parallel to timed (one outstanding activation per activity under the
+	// race-enabled policy), scheduled and cancelled without allocation.
+	events []*des.Event
+
+	impulses []float64
+	firings  uint64
+	failed   error
+	// failFn is in.fail bound once at construction: binding a method
+	// value allocates, and Reset must not.
+	failFn func(error)
+	// ready is set by Reset and cleared when a run starts: an instance
+	// must be reset before every replication.
+	ready bool
+
+	// candTimed / candInst are the activities whose enabling must be
+	// reconsidered (dirty since last reconciliation); the program's
+	// wildcard sets are folded into them on every pass.
+	candTimed, candInst bitset
+
+	// tracking is true while gate code runs inside fire; only then do the
+	// model's touch hooks record dirt.
+	tracking bool
+
+	// caseWeights is the chooseCase scratch buffer (max case count).
+	caseWeights []float64
+
+	// rateSt packs each rate reward's hot-path state — accumulator, reward
+	// function, cached value — into one struct so an observation touches a
+	// single cache line. rateDirty marks rewards whose watched places or
+	// activities changed since the last observation; the program's
+	// rateWildMask is re-copied into it after every pass.
+	rateSt    []rateState
+	rateDirty bitset
+
+	// Transient-removal state: rewards are measured over
+	// [warmup, horizon] only.
+	warmup       float64
+	warmSnapped  bool
+	warmIntegral []float64
+	warmImpulses []float64
+}
+
+// NewInstance allocates the mutable state for running the program: a
+// kernel, reusable completion events, accumulators, and scratch buffers.
+// The instance is not armed; call Reset(seed) before the first run.
+func (p *Program) NewInstance() (*Instance, error) {
+	m := p.model
+	in := &Instance{
+		prog:       p,
+		kernel:     des.NewKernel(),
+		src:        rng.New(0),
+		timed:      p.timed,
+		instants:   p.instants,
+		extBase:    p.extBase,
+		touchMasks: p.touchMasks,
+		maskStride: p.maskStride,
+		mask111:    p.mask111,
+		impulses:   make([]float64, len(m.impulses)),
+		candTimed:  newBitset(len(p.timed)),
+		candInst:   newBitset(len(p.instants)),
+		rateSt:     make([]rateState, len(m.rates)),
+		rateDirty:  newBitset(len(m.rates)),
+	}
+	in.failFn = in.fail
+	if p.maxCases > 0 {
+		in.caseWeights = make([]float64, p.maxCases)
+	}
+	for i := range m.rates {
+		in.rateSt[i].fn = m.rates[i].Fn
+	}
+	in.warmIntegral = make([]float64, len(in.rateSt))
+	in.warmImpulses = make([]float64, len(in.impulses))
+	in.events = make([]*des.Event, len(p.timed))
+	for i, ap := range p.timed {
+		i := i
+		ev, err := in.kernel.NewEvent(ap.act.priority, ap.act.name, func() { in.complete(i) })
+		if err != nil {
+			return nil, fmt.Errorf("san: activity %s: %w", ap.act.name, err)
+		}
+		in.events[i] = ev
+	}
+	return in, nil
+}
+
+// Program returns the compiled program the instance executes.
+func (in *Instance) Program() *Program { return in.prog }
+
+// Reset arms the instance for one replication seeded with seed: the model's
+// marking returns to its recorded initial state (token counts, extended
+// places, completion counters), runtime modeling errors recorded by a
+// previous replication are cleared, the kernel rewinds to time zero with an
+// empty event list and a restarted event-sequence counter, and every reward
+// accumulator and candidate set is re-initialized. After Reset the instance
+// behaves bit-identically to a freshly built Runner with the same seed.
+// Reset itself never allocates; extended-place init functions run and may.
+func (in *Instance) Reset(seed uint64) {
+	m := in.prog.model
+	m.reset()
+	// Runtime errors from a prior replication would otherwise fail this
+	// one's final model check; the program compiled clean, so everything
+	// recorded since is per-replication state.
+	m.errs = m.errs[:0]
+	m.run = in
+	m.notify = in.failFn
+
+	in.kernel.Reset()
+	in.src.Reseed(seed)
+	for i := range in.impulses {
+		in.impulses[i] = 0
+	}
+	in.firings = 0
+	in.failed = nil
+	in.ready = true
+	in.tracking = false
+
+	// Everything is a candidate for the initial stabilization/activation,
+	// and every rate reward is evaluated at the first observation.
+	in.candTimed.zero()
+	in.candTimed.setAll(len(in.timed))
+	in.candInst.zero()
+	in.candInst.setAll(len(in.instants))
+	in.rateDirty.zero()
+	in.rateDirty.setAll(len(in.rateSt))
+
+	for i := range in.rateSt {
+		in.rateSt[i].tw = stats.TimeWeighted{}
+		in.rateSt[i].val = 0
+	}
+	in.warmup = 0
+	in.warmSnapped = false
+	for i := range in.warmIntegral {
+		in.warmIntegral[i] = 0
+	}
+	for i := range in.warmImpulses {
+		in.warmImpulses[i] = 0
+	}
+}
+
+// touchID marks a place dirty (token places use their id, extended places
+// extBase+id): every activity reading it becomes an enabling-
+// reconsideration candidate and every rate reward watching it is
+// re-evaluated at the next observation. Callers gate on in.tracking: only
+// gate execution records dirt. Models up to 64 timed activities, 64
+// instantaneous activities, and 64 rate rewards take the three-word fast
+// path; larger ones fall through to the general stride loop.
+func (in *Instance) touchID(id int) {
+	if in.mask111 {
+		b := id * 3
+		in.candTimed[0] |= in.touchMasks[b]
+		in.candInst[0] |= in.touchMasks[b+1]
+		in.rateDirty[0] |= in.touchMasks[b+2]
+		return
+	}
+	in.touchWide(id)
+}
+
+func (in *Instance) touchWide(id int) {
+	row := in.touchMasks[id*in.maskStride : (id+1)*in.maskStride]
+	o := 0
+	for w := range in.candTimed {
+		in.candTimed[w] |= row[o]
+		o++
+	}
+	for w := range in.candInst {
+		in.candInst[w] |= row[o]
+		o++
+	}
+	for w := range in.rateDirty {
+		in.rateDirty[w] |= row[o]
+		o++
+	}
+}
+
+// Run simulates the model over [0, horizon] and returns the measured
+// rewards. It returns an error if the model livelocks or a modeling error
+// (e.g. negative marking) is recorded during execution.
+func (in *Instance) Run(horizon float64) (Results, error) {
+	return in.RunInterval(0, horizon)
+}
+
+// RunInterval simulates over [0, horizon] but measures rewards over
+// [warmup, horizon] only, discarding the initial transient (rate rewards
+// are time-averaged over the measurement window; impulse rewards count
+// completions inside it).
+func (in *Instance) RunInterval(warmup, horizon float64) (Results, error) {
+	return in.RunIntervalContext(context.Background(), warmup, horizon)
+}
+
+// RunIntervalContext is RunInterval with cancellation: ctx is checked
+// periodically (every few thousand events) so cancelling an experiment
+// interrupts a long replication instead of waiting for the horizon.
+func (in *Instance) RunIntervalContext(ctx context.Context, warmup, horizon float64) (Results, error) {
+	if horizon <= 0 {
+		return Results{}, fmt.Errorf("san: non-positive horizon %g", horizon)
+	}
+	if warmup < 0 || warmup >= horizon {
+		return Results{}, fmt.Errorf("san: warmup %g outside [0, horizon %g)", warmup, horizon)
+	}
+	if !in.ready {
+		return Results{}, fmt.Errorf("san: instance already used or not reset (model %q would simulate from a stale marking; call Reset with a fresh seed before each replication)", in.prog.model.Name())
+	}
+	in.ready = false
+	in.warmup = warmup
+	in.warmSnapped = warmup == 0
+	// Initial stabilization and activation.
+	if err := in.stabilize(); err != nil {
+		return Results{}, err
+	}
+	in.refresh()
+	in.observeRates()
+
+	// The measurement window is half-open: events scheduled at exactly the
+	// horizon do not fire (they would contribute zero measure to rate
+	// rewards but would skew impulse counts).
+	untilCtxCheck := ctxCheckInterval
+	for in.failed == nil {
+		next := in.kernel.NextTime()
+		if next >= horizon || math.IsInf(next, 1) {
+			break
+		}
+		if !in.warmSnapped && next >= in.warmup {
+			// Snapshot before the first in-window event fires, so its
+			// impulses and marking changes land inside the window.
+			in.snapshotWarmup()
+		}
+		in.kernel.Step()
+		if untilCtxCheck--; untilCtxCheck <= 0 {
+			untilCtxCheck = ctxCheckInterval
+			if err := ctx.Err(); err != nil {
+				return Results{}, fmt.Errorf("san: replication cancelled at t=%g: %w", in.kernel.Now(), err)
+			}
+		}
+	}
+	if in.failed != nil {
+		return Results{}, in.failed
+	}
+	if err := in.prog.model.Err(); err != nil {
+		return Results{}, fmt.Errorf("san: model error during run: %w", err)
+	}
+
+	if !in.warmSnapped {
+		// The run ended before any event crossed the warmup point; the
+		// signal was constant since the last observation, so snapshot now.
+		in.snapshotWarmup()
+	}
+	m := in.prog.model
+	res := Results{
+		Warmup:   warmup,
+		Horizon:  horizon,
+		Rates:    make(map[string]float64, len(m.rates)),
+		Impulses: make(map[string]float64, len(m.impulses)),
+		Events:   in.kernel.Fired(),
+		Firings:  in.firings,
+	}
+	window := horizon - warmup
+	for i, rr := range m.rates {
+		res.Rates[rr.Name] = (in.rateSt[i].tw.IntegralAt(horizon) - in.warmIntegral[i]) / window
+	}
+	for i, ir := range m.impulses {
+		res.Impulses[ir.Name] = in.impulses[i] - in.warmImpulses[i]
+	}
+	return res, nil
+}
+
+// snapshotWarmup records the reward accumulators' state at the warmup
+// point. It must run before any observation past the warmup time.
+func (in *Instance) snapshotWarmup() {
+	for i := range in.rateSt {
+		in.warmIntegral[i] = in.rateSt[i].tw.IntegralAt(in.warmup)
+	}
+	copy(in.warmImpulses, in.impulses)
+	in.warmSnapped = true
+}
+
+// fire completes an activity: input-gate functions run first, then one case
+// is selected by weight and its output gate runs. Gate execution runs with
+// dirty tracking on; once a fatal error is recorded the remaining gate
+// stages are skipped, so a failed replication never mutates the marking
+// past the error point.
+func (in *Instance) fire(ap *actPlan) {
+	a := ap.act
+	a.completed++
+	in.firings++
+	in.tracking = true
+	for _, fn := range a.inputFns {
+		fn()
+		if in.failed != nil {
+			in.tracking = false
+			return
+		}
+	}
+	var c Case
+	if len(a.cases) == 1 {
+		c = a.cases[0]
+	} else {
+		c = in.chooseCase(a)
+		if in.failed != nil {
+			in.tracking = false
+			return
+		}
+	}
+	c.Output()
+	in.tracking = false
+	if in.failed != nil {
+		return
+	}
+	for _, i := range ap.impulseIdx {
+		in.impulses[i] += in.prog.model.impulses[i].Fn()
+	}
+	for _, i := range ap.rateIdx {
+		in.rateDirty.set(int(i))
+	}
+}
+
+// chooseCase selects one case by normalized weight.
+func (in *Instance) chooseCase(a *Activity) Case {
+	if len(a.cases) == 1 {
+		return a.cases[0]
+	}
+	total := 0.0
+	weights := in.caseWeights[:len(a.cases)]
+	for i, c := range a.cases {
+		w := c.Weight()
+		if w < 0 {
+			in.fail(fmt.Errorf("san: negative case weight on %s", a.name))
+			w = 0
+		}
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		in.fail(fmt.Errorf("san: all case weights zero on %s", a.name))
+		return a.cases[0]
+	}
+	u := in.src.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return a.cases[i]
+		}
+	}
+	return a.cases[len(a.cases)-1]
+}
+
+// stabilize fires enabled instantaneous activities in (priority, definition)
+// order until none is enabled. Only candidates — activities whose watched
+// places were dirtied since they were last found disabled, plus the
+// wildcard set — are re-examined: an instantaneous activity that was
+// disabled at the end of the previous stabilization stays disabled until
+// some firing touches a place it reads.
+func (in *Instance) stabilize() error {
+	for n := 0; ; n++ {
+		if n > stabilizeCap {
+			err := fmt.Errorf("san: instantaneous livelock in model %q at t=%g", in.prog.model.Name(), in.kernel.Now())
+			in.fail(err)
+			return err
+		}
+		in.candInst.or(in.prog.wildInst)
+		fired := false
+		for i := in.candInst.next(0); i >= 0; i = in.candInst.next(i + 1) {
+			ap := in.instants[i]
+			in.candInst.clear(i)
+			if ap.act.enabled() {
+				in.fire(ap)
+				// The firing may have left the activity enabled (its own
+				// reads untouched): keep it a candidate so the restarted
+				// scan re-examines it, as a full scan would.
+				in.candInst.set(i)
+				fired = true
+				break // restart the priority scan after each marking change
+			}
+		}
+		if in.failed != nil {
+			return in.failed
+		}
+		if !fired {
+			return nil
+		}
+	}
+}
+
+// refresh reconciles timed-activity activations with the current marking:
+// enabled-and-unscheduled activities get a sampled completion; scheduled-
+// but-disabled ones are aborted (race-enabled policy). Only candidate
+// activities are examined, in definition order — the same order a full
+// scan visits them — so the sequence of RNG delay draws is bit-identical
+// to the pre-index engine's.
+func (in *Instance) refresh() {
+	in.candTimed.or(in.prog.wildTimed)
+	for i := in.candTimed.next(0); i >= 0; i = in.candTimed.next(i + 1) {
+		in.candTimed.clear(i)
+		ap := in.timed[i]
+		ev := in.events[i]
+		scheduled := ev.Pending()
+		enabled := ap.act.enabled()
+		switch {
+		case enabled && !scheduled:
+			delay := ap.act.delay(in.src)
+			if delay < 0 || math.IsNaN(delay) {
+				in.fail(fmt.Errorf("san: activity %s sampled invalid delay %g", ap.act.name, delay))
+				return
+			}
+			if err := in.kernel.ScheduleEventAfter(ev, delay); err != nil {
+				in.fail(err)
+				return
+			}
+		case !enabled && scheduled:
+			in.kernel.Cancel(ev)
+		}
+	}
+}
+
+// complete is the kernel handler for a timed-activity completion.
+func (in *Instance) complete(i int) {
+	ap := in.timed[i]
+	in.fire(ap)
+	// The completed activity is unscheduled and possibly still enabled:
+	// reconsider it regardless of what the firing touched.
+	in.candTimed.set(i)
+	if err := in.stabilize(); err != nil {
+		return
+	}
+	in.refresh()
+	in.observeRates()
+}
+
+// observeRates records the current value of every rate reward at the
+// current time. Only rewards whose watched places or activities were
+// dirtied since the last observation are re-evaluated; the rest observe
+// their cached value, so the accumulated integral is bit-identical to
+// evaluating every reward at every event.
+func (in *Instance) observeRates() {
+	now := in.kernel.Now()
+	st := in.rateSt
+	dirty := in.rateDirty
+	wild := in.prog.rateWildMask
+	if len(dirty) == 1 {
+		// ≤64 rewards: hoist the dirty word out of the loop.
+		d := dirty[0]
+		for i := range st {
+			s := &st[i]
+			if d&(1<<uint(i)) != 0 {
+				s.val = s.fn()
+			}
+			s.tw.Observe(now, s.val)
+		}
+		dirty[0] = wild[0]
+		return
+	}
+	for i := range st {
+		s := &st[i]
+		if dirty.has(i) {
+			s.val = s.fn()
+		}
+		s.tw.Observe(now, s.val)
+	}
+	// Reset to the wildcard baseline: rewards without usable Refs stay
+	// dirty and are re-evaluated at every observation.
+	copy(dirty, wild)
+}
+
+// fail records a fatal execution error and halts the kernel.
+func (in *Instance) fail(err error) {
+	if in.failed == nil {
+		in.failed = err
+	}
+	in.kernel.Halt()
+}

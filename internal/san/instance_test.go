@@ -1,0 +1,146 @@
+package san
+
+import (
+	"testing"
+
+	"vcpusim/internal/rng"
+)
+
+// TestInstancePooledEquivalence is the heart of the compile-once
+// contract: a single Instance reset across seeds must reproduce, bit for
+// bit, what a freshly built model and Runner produce for each seed —
+// including when the seeds repeat, and including warmup handling.
+func TestInstancePooledEquivalence(t *testing.T) {
+	prog, err := Compile(buildTandem(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmup, horizon = 100, 1500
+	seeds := []uint64{1, 7, 42, 7, 1} // repeats: a reset must not remember
+	for _, seed := range seeds {
+		fresh, err := NewRunner(buildTandem(6), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.RunInterval(warmup, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		inst.Reset(seed)
+		got, err := inst.RunInterval(warmup, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if got.Events != want.Events || got.Firings != want.Firings {
+			t.Fatalf("seed %d: pooled (%d events, %d firings) != fresh (%d events, %d firings)",
+				seed, got.Events, got.Firings, want.Events, want.Firings)
+		}
+		if len(got.Rates) != len(want.Rates) {
+			t.Fatalf("seed %d: rate metric sets differ: %v vs %v", seed, got.Rates, want.Rates)
+		}
+		for name, w := range want.Rates {
+			// Exact float comparison on purpose: the pooled path must
+			// replay the identical trajectory, not an approximation.
+			if g := got.Rates[name]; g != w {
+				t.Errorf("seed %d: rate %s pooled %x, fresh %x", seed, name, g, w)
+			}
+		}
+		for name, w := range want.Impulses {
+			if g := got.Impulses[name]; g != w {
+				t.Errorf("seed %d: impulse %s pooled %x, fresh %x", seed, name, g, w)
+			}
+		}
+	}
+}
+
+// TestInstanceRerunWithoutReset verifies the explicit contract replacing
+// PR 2's single-use Runner: running twice without an intervening Reset
+// is refused (the marking is stale), while a Reset re-arms the instance.
+func TestInstanceRerunWithoutReset(t *testing.T) {
+	prog, err := Compile(buildTandem(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Reset(3)
+	if _, err := inst.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Run(50); err == nil {
+		t.Fatal("second Run without Reset succeeded; want the stale-marking error")
+	}
+	inst.Reset(3)
+	if _, err := inst.Run(50); err != nil {
+		t.Fatalf("Run after Reset: %v", err)
+	}
+}
+
+// TestInstanceResetAllocFree pins the pooling win: resetting an instance
+// between replications allocates nothing. (The model here uses token
+// places only; extended places run user init closures on reset, whose
+// allocations belong to the model, not the executive.)
+func TestInstanceResetAllocFree(t *testing.T) {
+	prog, err := Compile(buildTandem(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(0)
+	allocs := testing.AllocsPerRun(50, func() {
+		seed++
+		inst.Reset(seed)
+		if _, err := inst.Run(200); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The event loop is allocation-free (TestRunnerSteadyStateAllocFree);
+	// the budget here covers only the Results maps each Run returns.
+	if allocs > 16 {
+		t.Errorf("Reset+Run allocated %.1f times per replication, want near 0 (results maps only)", allocs)
+	}
+}
+
+// TestInstanceResetOnlyAllocFree isolates Reset itself: zero allocations.
+func TestInstanceResetOnlyAllocFree(t *testing.T) {
+	prog, err := Compile(buildTandem(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(0)
+	if allocs := testing.AllocsPerRun(100, func() {
+		seed++
+		inst.Reset(seed)
+	}); allocs != 0 {
+		t.Errorf("Reset allocated %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestCompileRejectsInvalidModel verifies Compile runs model validation,
+// so a Program can assume a well-formed structure.
+func TestCompileRejectsInvalidModel(t *testing.T) {
+	m := NewModel("invalid")
+	s := m.Sub("s")
+	p := s.Place("p", 1)
+	s.Place("p", 1) // duplicate name records a build error
+	act := s.TimedActivity("act", rng.Deterministic{Value: 1})
+	act.InputArc(p, 1)
+	if _, err := Compile(m); err == nil {
+		t.Fatal("Compile accepted a model with a duplicate component name")
+	}
+}

@@ -1,0 +1,225 @@
+package san
+
+import (
+	"fmt"
+	"sort"
+)
+
+// actPlan is the compiled execution plan of one activity: its identity plus
+// the precomputed reward fan-out of a completion, so firing never scans the
+// model's reward lists. Plans are immutable after Compile; all mutable
+// per-replication state lives on the Instance.
+type actPlan struct {
+	act *Activity
+	// impulseIdx are the model impulse-reward indexes triggered by this
+	// activity's completions.
+	impulseIdx []int32
+	// rateIdx are the model rate-reward indexes whose Refs document this
+	// activity (completion-count rewards): dirtied on every firing.
+	rateIdx []int32
+}
+
+// Program is the compiled, immutable executive of one Model: activity
+// tables in firing order, the reward fan-out, and the place → activity
+// incidence index flattened into per-place bitmask rows. A Program is
+// compiled once per model and shared by every Instance derived from it;
+// nothing on it changes during a run.
+//
+// Because the model's marking lives on the Model itself (gate closures
+// capture places directly), instances of the same Program share that
+// marking: at most one Instance of a Program may be running at any time.
+// For parallel replications, build one system + Program per worker and
+// reuse each worker's Instance serially via Reset.
+type Program struct {
+	model *Model
+
+	// timed holds timed activities in definition order (the RNG draw order
+	// among newly-enabled activities); instants holds instantaneous
+	// activities in (priority, definition) firing order.
+	timed    []*actPlan
+	instants []*actPlan
+
+	// extBase offsets extended-place ids into the shared incidence id
+	// space: token places occupy [0, len(places)), extended places follow.
+	extBase int
+
+	// touchMasks is the mask-compiled incidence index: for each place id,
+	// maskStride consecutive words — candTimed's words, then candInst's,
+	// then rateDirty's — ORed into an instance's live sets when the place
+	// changes. mask111 marks the common one-word-per-set layout served by
+	// touchID's fast path.
+	touchMasks []uint64
+	maskStride int
+	mask111    bool
+
+	// wildTimed / wildInst are the activities with undocumented reads,
+	// folded into an instance's candidate sets on every pass; rateWildMask
+	// holds the rate rewards without usable Refs, re-evaluated at every
+	// observation. All three are read-only after Compile.
+	wildTimed, wildInst bitset
+	rateWildMask        bitset
+
+	// maxCases sizes the per-instance case-weight scratch buffer.
+	maxCases int
+}
+
+// Model returns the model the program was compiled from.
+func (p *Program) Model() *Model { return p.model }
+
+// Compile validates model and compiles its immutable execution plan: the
+// activity firing orders, the per-activity reward fan-out, and the
+// place-incidence bitmask index. The model's marking is untouched;
+// Instance.Reset restores it before each replication.
+func Compile(model *Model) (*Program, error) {
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("san: model %q invalid: %w", model.Name(), err)
+	}
+	m := model
+	p := &Program{model: m}
+
+	// Activity lists. Timed activities keep definition order (the draw
+	// order); instantaneous ones sort by (priority, definition).
+	plan := make(map[*Activity]*actPlan, len(m.activities))
+	var instActs []*Activity
+	for _, a := range m.activities {
+		switch a.kind {
+		case Timed:
+			ap := &actPlan{act: a}
+			p.timed = append(p.timed, ap)
+			plan[a] = ap
+		default:
+			instActs = append(instActs, a)
+		}
+		if n := len(a.cases); n > p.maxCases {
+			p.maxCases = n
+		}
+	}
+	sort.SliceStable(instActs, func(i, j int) bool {
+		if instActs[i].priority != instActs[j].priority {
+			return instActs[i].priority < instActs[j].priority
+		}
+		return instActs[i].defined < instActs[j].defined
+	})
+	for _, a := range instActs {
+		ap := &actPlan{act: a}
+		p.instants = append(p.instants, ap)
+		plan[a] = ap
+	}
+
+	// Reward fan-out: impulse rewards by triggering activity; rate rewards
+	// by documented place/activity references.
+	for i, ir := range m.impulses {
+		if ap := plan[ir.Activity]; ap != nil {
+			ap.impulseIdx = append(ap.impulseIdx, int32(i))
+		}
+	}
+
+	// Place name → incidence id (token places first, then extended).
+	p.extBase = len(m.places)
+	places := make(map[string]int, len(m.places)+len(m.extPlaces))
+	for _, pl := range m.places {
+		places[pl.name] = pl.id
+	}
+	for i, pl := range m.extPlaces {
+		places[pl.Name()] = p.extBase + i // NewExtPlace assigns ids in creation order
+	}
+	inc := newIncidence(len(m.places) + len(m.extPlaces))
+
+	p.wildTimed = newBitset(len(p.timed))
+	p.wildInst = newBitset(len(p.instants))
+
+	addReaders := func(a *Activity, idx int, timed bool) {
+		if len(a.preds) == 0 && !timed {
+			// An instantaneous activity with no predicate is always
+			// enabled: keep it in the wildcard set so stabilization
+			// reaches the livelock cap exactly as a full scan would.
+			p.wildInst.set(idx)
+			return
+		}
+		if len(a.preds) == 0 {
+			// Always enabled: a timed activity only needs reconsideration
+			// after its own completion, which complete() marks directly.
+			return
+		}
+		indexed := false
+		for _, l := range a.links {
+			if l.Kind != LinkInput {
+				continue
+			}
+			pid, ok := places[l.Place]
+			if !ok {
+				continue // undocumented target: covered by wildcard below
+			}
+			indexed = true
+			if timed {
+				inc.timed[pid] = append(inc.timed[pid], int32(idx))
+			} else {
+				inc.inst[pid] = append(inc.inst[pid], int32(idx))
+			}
+		}
+		if !indexed {
+			// Predicates with no documented input arcs: reconsider on
+			// every pass (pre-index behavior for this activity).
+			if timed {
+				p.wildTimed.set(idx)
+			} else {
+				p.wildInst.set(idx)
+			}
+		}
+	}
+	for i, ap := range p.timed {
+		addReaders(ap.act, i, true)
+	}
+	for i, ap := range p.instants {
+		addReaders(ap.act, i, false)
+	}
+
+	// Rate rewards: Refs → watched places or completion-counted activities.
+	p.rateWildMask = newBitset(len(m.rates))
+	activityByName := make(map[string]*actPlan, len(m.activities))
+	for _, a := range m.activities {
+		activityByName[a.name] = plan[a]
+	}
+	for i, rr := range m.rates {
+		if len(rr.Refs) == 0 {
+			p.rateWildMask.set(i)
+			continue
+		}
+		for _, ref := range rr.Refs {
+			if pid, ok := places[ref]; ok {
+				inc.rates[pid] = append(inc.rates[pid], int32(i))
+				continue
+			}
+			if ap := activityByName[ref]; ap != nil {
+				ap.rateIdx = append(ap.rateIdx, int32(i))
+				continue
+			}
+			p.rateWildMask.set(i)
+		}
+	}
+
+	// Compile the incidence lists into flat per-place masks: touching a
+	// place ORs one contiguous run of words into the live candidate and
+	// rate-dirty sets, however many readers the place has.
+	wT := len(newBitset(len(p.timed)))
+	wI := len(newBitset(len(p.instants)))
+	wR := len(newBitset(len(m.rates)))
+	p.maskStride = wT + wI + wR
+	p.mask111 = wT == 1 && wI == 1 && wR == 1
+	ids := len(m.places) + len(m.extPlaces)
+	p.touchMasks = make([]uint64, ids*p.maskStride)
+	for id := 0; id < ids; id++ {
+		row := p.touchMasks[id*p.maskStride : (id+1)*p.maskStride]
+		mt, mi, mr := bitset(row[:wT]), bitset(row[wT:wT+wI]), bitset(row[wT+wI:])
+		for _, i := range inc.timed[id] {
+			mt.set(int(i))
+		}
+		for _, i := range inc.inst[id] {
+			mi.set(int(i))
+		}
+		for _, i := range inc.rates[id] {
+			mr.set(int(i))
+		}
+	}
+	return p, nil
+}

@@ -1,16 +1,5 @@
 package san
 
-import (
-	"context"
-	"fmt"
-	"math"
-	"sort"
-
-	"vcpusim/internal/des"
-	"vcpusim/internal/rng"
-	"vcpusim/internal/stats"
-)
-
 // stabilizeCap bounds the number of instantaneous firings between two time
 // advances; exceeding it indicates an instantaneous livelock in the model.
 const stabilizeCap = 1 << 20
@@ -39,623 +28,27 @@ type Results struct {
 	Firings uint64
 }
 
-// actState is the runner's per-activity execution state: the precomputed
-// impulse-reward and rate-reward fan-out of a completion, so fire never
-// scans the model's reward lists.
-type actState struct {
-	act *Activity
-	// impulseIdx are the model impulse-reward indexes triggered by this
-	// activity's completions.
-	impulseIdx []int32
-	// rateIdx are the model rate-reward indexes whose Refs document this
-	// activity (completion-count rewards): dirtied on every firing.
-	rateIdx []int32
-}
-
-// timedState is the per-timed-activity state: a reusable completion event
-// (one outstanding activation per activity under the race-enabled policy),
-// scheduled and cancelled without allocation.
-type timedState struct {
-	actState
-	ev *des.Event
-}
-
-// rateState is one rate reward's execution state, packed for the
-// observation loop that runs after every timed completion.
-type rateState struct {
-	tw  stats.TimeWeighted
-	fn  func() float64
-	val float64
-}
-
-// Runner executes one model replication. A Runner is single-use: create one
-// per replication (the model's marking is reset at construction); a second
-// Run/RunInterval call returns an error.
+// Runner executes one model replication: the one-shot convenience over the
+// compile-once executive (Compile + Program.NewInstance + Instance.Reset).
+// A Runner is single-use — a second Run/RunInterval call returns an error
+// because the underlying Instance has not been Reset. Callers running many
+// replications of the same model should Compile once and Reset a pooled
+// Instance per replication instead, amortizing the compilation.
 type Runner struct {
-	model    *Model
-	kernel   *des.Kernel
-	src      *rng.Source
-	impulses []float64
-	firings  uint64
-	failed   error
-	used     bool
-
-	// timed holds timed activities in definition order (the RNG draw order
-	// among newly-enabled activities); instants holds instantaneous
-	// activities in (priority, definition) firing order.
-	timed    []*timedState
-	instants []*actState
-
-	// extBase offsets extended-place ids into the shared incidence id
-	// space: token places occupy [0, len(places)), extended places follow.
-	extBase int
-
-	// touchMasks is the mask-compiled incidence index: for each place id,
-	// maskStride consecutive words — candTimed's words, then candInst's,
-	// then rateDirty's — ORed into the live sets when the place changes.
-	// One slice index plus a handful of word ORs per touch, regardless of
-	// how many activities read the place. mask111 marks the common
-	// one-word-per-set layout served by touchID's fast path.
-	touchMasks []uint64
-	maskStride int
-	mask111    bool
-
-	// candTimed / candInst are the activities whose enabling must be
-	// reconsidered (dirty since last reconciliation); wildTimed / wildInst
-	// are the activities with undocumented reads, folded into the
-	// candidates on every pass.
-	candTimed, candInst bitset
-	wildTimed, wildInst bitset
-
-	// tracking is true while gate code runs inside fire; only then do the
-	// model's touch hooks record dirt.
-	tracking bool
-
-	// caseWeights is the chooseCase scratch buffer (max case count).
-	caseWeights []float64
-
-	// rateSt packs each rate reward's hot-path state — accumulator, reward
-	// function, cached value — into one struct so an observation touches a
-	// single cache line. rateDirty marks rewards whose watched places or
-	// activities changed since the last observation; rateWildMask holds the
-	// rewards without usable Refs, re-copied into rateDirty after every
-	// pass so they are re-evaluated unconditionally.
-	rateSt       []rateState
-	rateDirty    bitset
-	rateWildMask bitset
-
-	// Transient-removal state: rewards are measured over
-	// [warmup, horizon] only.
-	warmup       float64
-	warmSnapped  bool
-	warmIntegral []float64
-	warmImpulses []float64
+	*Instance
 }
 
 // NewRunner prepares a replication of model seeded with seed. It validates
-// the model and resets its marking.
+// and compiles the model and resets its marking.
 func NewRunner(model *Model, seed uint64) (*Runner, error) {
-	if err := model.Validate(); err != nil {
-		return nil, fmt.Errorf("san: model %q invalid: %w", model.Name(), err)
-	}
-	model.reset()
-	r := &Runner{
-		model:    model,
-		kernel:   des.NewKernel(),
-		src:      rng.New(seed),
-		impulses: make([]float64, len(model.impulses)),
-	}
-	// Fail fast: any modeling error recorded during execution (negative
-	// marking, ReportError from gate code) aborts the replication instead
-	// of letting it finish with clamped state.
-	model.notify = r.fail
-	if err := r.build(); err != nil {
+	prog, err := Compile(model)
+	if err != nil {
 		return nil, err
 	}
-	return r, nil
-}
-
-// build constructs the execution state: activity lists, the reusable
-// completion events, the per-activity reward fan-out, and the place →
-// activity incidence index.
-func (r *Runner) build() error {
-	m := r.model
-
-	// Activity lists. Timed activities keep definition order (the draw
-	// order); instantaneous ones sort by (priority, definition).
-	state := make(map[*Activity]*actState, len(m.activities))
-	var instActs []*Activity
-	for _, a := range m.activities {
-		switch a.kind {
-		case Timed:
-			ts := &timedState{actState: actState{act: a}}
-			i := len(r.timed)
-			handler := func() { r.complete(i) }
-			ev, err := r.kernel.NewEvent(a.priority, a.name, handler)
-			if err != nil {
-				return fmt.Errorf("san: activity %s: %w", a.name, err)
-			}
-			ts.ev = ev
-			r.timed = append(r.timed, ts)
-			state[a] = &ts.actState
-		default:
-			instActs = append(instActs, a)
-		}
-		if n := len(a.cases); n > len(r.caseWeights) {
-			r.caseWeights = make([]float64, n)
-		}
+	in, err := prog.NewInstance()
+	if err != nil {
+		return nil, err
 	}
-	sort.SliceStable(instActs, func(i, j int) bool {
-		if instActs[i].priority != instActs[j].priority {
-			return instActs[i].priority < instActs[j].priority
-		}
-		return instActs[i].defined < instActs[j].defined
-	})
-	for _, a := range instActs {
-		s := &actState{act: a}
-		r.instants = append(r.instants, s)
-		state[a] = s
-	}
-
-	// Reward fan-out: impulse rewards by triggering activity; rate rewards
-	// by documented place/activity references.
-	for i, ir := range m.impulses {
-		if s := state[ir.Activity]; s != nil {
-			s.impulseIdx = append(s.impulseIdx, int32(i))
-		}
-	}
-
-	// Place name → incidence id (token places first, then extended).
-	r.extBase = len(m.places)
-	places := make(map[string]int, len(m.places)+len(m.extPlaces))
-	for _, p := range m.places {
-		places[p.name] = p.id
-	}
-	for i, p := range m.extPlaces {
-		places[p.Name()] = r.extBase + i // NewExtPlace assigns ids in creation order
-	}
-	inc := newIncidence(len(m.places) + len(m.extPlaces))
-
-	r.candTimed = newBitset(len(r.timed))
-	r.wildTimed = newBitset(len(r.timed))
-	r.candInst = newBitset(len(r.instants))
-	r.wildInst = newBitset(len(r.instants))
-
-	addReaders := func(a *Activity, idx int, timed bool) {
-		if len(a.preds) == 0 && !timed {
-			// An instantaneous activity with no predicate is always
-			// enabled: keep it in the wildcard set so stabilization
-			// reaches the livelock cap exactly as a full scan would.
-			r.wildInst.set(idx)
-			return
-		}
-		if len(a.preds) == 0 {
-			// Always enabled: a timed activity only needs reconsideration
-			// after its own completion, which complete() marks directly.
-			return
-		}
-		indexed := false
-		for _, l := range a.links {
-			if l.Kind != LinkInput {
-				continue
-			}
-			pid, ok := places[l.Place]
-			if !ok {
-				continue // undocumented target: covered by wildcard below
-			}
-			indexed = true
-			if timed {
-				inc.timed[pid] = append(inc.timed[pid], int32(idx))
-			} else {
-				inc.inst[pid] = append(inc.inst[pid], int32(idx))
-			}
-		}
-		if !indexed {
-			// Predicates with no documented input arcs: reconsider on
-			// every pass (pre-index behavior for this activity).
-			if timed {
-				r.wildTimed.set(idx)
-			} else {
-				r.wildInst.set(idx)
-			}
-		}
-	}
-	for i, ts := range r.timed {
-		addReaders(ts.act, i, true)
-	}
-	for i, s := range r.instants {
-		addReaders(s.act, i, false)
-	}
-
-	// Rate rewards: Refs → watched places or completion-counted activities.
-	r.rateSt = make([]rateState, len(m.rates))
-	r.rateDirty = newBitset(len(m.rates))
-	r.rateWildMask = newBitset(len(m.rates))
-	activityByName := make(map[string]*actState, len(m.activities))
-	for _, a := range m.activities {
-		activityByName[a.name] = state[a]
-	}
-	for i, rr := range m.rates {
-		r.rateSt[i].fn = rr.Fn
-		if len(rr.Refs) == 0 {
-			r.rateWildMask.set(i)
-			continue
-		}
-		for _, ref := range rr.Refs {
-			if pid, ok := places[ref]; ok {
-				inc.rates[pid] = append(inc.rates[pid], int32(i))
-				continue
-			}
-			if s := activityByName[ref]; s != nil {
-				s.rateIdx = append(s.rateIdx, int32(i))
-				continue
-			}
-			r.rateWildMask.set(i)
-		}
-	}
-
-	// Compile the incidence lists into flat per-place masks: touching a
-	// place ORs one contiguous run of words into the live candidate and
-	// rate-dirty sets, however many readers the place has.
-	wT, wI, wR := len(r.candTimed), len(r.candInst), len(r.rateDirty)
-	r.maskStride = wT + wI + wR
-	r.mask111 = wT == 1 && wI == 1 && wR == 1
-	ids := len(m.places) + len(m.extPlaces)
-	r.touchMasks = make([]uint64, ids*r.maskStride)
-	for id := 0; id < ids; id++ {
-		row := r.touchMasks[id*r.maskStride : (id+1)*r.maskStride]
-		mt, mi, mr := bitset(row[:wT]), bitset(row[wT:wT+wI]), bitset(row[wT+wI:])
-		for _, i := range inc.timed[id] {
-			mt.set(int(i))
-		}
-		for _, i := range inc.inst[id] {
-			mi.set(int(i))
-		}
-		for _, i := range inc.rates[id] {
-			mr.set(int(i))
-		}
-	}
-
-	// Everything is a candidate for the initial stabilization/activation,
-	// and every rate reward is evaluated at the first observation.
-	r.candTimed.setAll(len(r.timed))
-	r.candInst.setAll(len(r.instants))
-	r.rateDirty.setAll(len(m.rates))
-
-	m.run = r
-	return nil
-}
-
-// touchID marks a place dirty (token places use their id, extended places
-// extBase+id): every activity reading it becomes an enabling-
-// reconsideration candidate and every rate reward watching it is
-// re-evaluated at the next observation. Callers gate on r.tracking: only
-// gate execution records dirt. Models up to 64 timed activities, 64
-// instantaneous activities, and 64 rate rewards take the three-word fast
-// path; larger ones fall through to the general stride loop.
-func (r *Runner) touchID(id int) {
-	if r.mask111 {
-		b := id * 3
-		r.candTimed[0] |= r.touchMasks[b]
-		r.candInst[0] |= r.touchMasks[b+1]
-		r.rateDirty[0] |= r.touchMasks[b+2]
-		return
-	}
-	r.touchWide(id)
-}
-
-func (r *Runner) touchWide(id int) {
-	row := r.touchMasks[id*r.maskStride : (id+1)*r.maskStride]
-	o := 0
-	for w := range r.candTimed {
-		r.candTimed[w] |= row[o]
-		o++
-	}
-	for w := range r.candInst {
-		r.candInst[w] |= row[o]
-		o++
-	}
-	for w := range r.rateDirty {
-		r.rateDirty[w] |= row[o]
-		o++
-	}
-}
-
-// Run simulates the model over [0, horizon] and returns the measured
-// rewards. It returns an error if the model livelocks or a modeling error
-// (e.g. negative marking) is recorded during execution.
-func (r *Runner) Run(horizon float64) (Results, error) {
-	return r.RunInterval(0, horizon)
-}
-
-// RunInterval simulates over [0, horizon] but measures rewards over
-// [warmup, horizon] only, discarding the initial transient (rate rewards
-// are time-averaged over the measurement window; impulse rewards count
-// completions inside it).
-func (r *Runner) RunInterval(warmup, horizon float64) (Results, error) {
-	return r.RunIntervalContext(context.Background(), warmup, horizon)
-}
-
-// RunIntervalContext is RunInterval with cancellation: ctx is checked
-// periodically (every few thousand events) so cancelling an experiment
-// interrupts a long replication instead of waiting for the horizon.
-func (r *Runner) RunIntervalContext(ctx context.Context, warmup, horizon float64) (Results, error) {
-	if horizon <= 0 {
-		return Results{}, fmt.Errorf("san: non-positive horizon %g", horizon)
-	}
-	if warmup < 0 || warmup >= horizon {
-		return Results{}, fmt.Errorf("san: warmup %g outside [0, horizon %g)", warmup, horizon)
-	}
-	if r.used {
-		return Results{}, fmt.Errorf("san: runner already used (model %q simulates from the stale marking; create a new Runner per replication)", r.model.Name())
-	}
-	r.used = true
-	r.warmup = warmup
-	r.warmIntegral = make([]float64, len(r.rateSt))
-	r.warmImpulses = make([]float64, len(r.impulses))
-	r.warmSnapped = warmup == 0
-	// Initial stabilization and activation.
-	if err := r.stabilize(); err != nil {
-		return Results{}, err
-	}
-	r.refresh()
-	r.observeRates()
-
-	// The measurement window is half-open: events scheduled at exactly the
-	// horizon do not fire (they would contribute zero measure to rate
-	// rewards but would skew impulse counts).
-	untilCtxCheck := ctxCheckInterval
-	for r.failed == nil {
-		next := r.peekTime()
-		if next >= horizon || math.IsInf(next, 1) {
-			break
-		}
-		if !r.warmSnapped && next >= r.warmup {
-			// Snapshot before the first in-window event fires, so its
-			// impulses and marking changes land inside the window.
-			r.snapshotWarmup()
-		}
-		r.kernel.Step()
-		if untilCtxCheck--; untilCtxCheck <= 0 {
-			untilCtxCheck = ctxCheckInterval
-			if err := ctx.Err(); err != nil {
-				return Results{}, fmt.Errorf("san: replication cancelled at t=%g: %w", r.kernel.Now(), err)
-			}
-		}
-	}
-	if r.failed != nil {
-		return Results{}, r.failed
-	}
-	if err := r.model.Err(); err != nil {
-		return Results{}, fmt.Errorf("san: model error during run: %w", err)
-	}
-
-	if !r.warmSnapped {
-		// The run ended before any event crossed the warmup point; the
-		// signal was constant since the last observation, so snapshot now.
-		r.snapshotWarmup()
-	}
-	res := Results{
-		Warmup:   warmup,
-		Horizon:  horizon,
-		Rates:    make(map[string]float64, len(r.model.rates)),
-		Impulses: make(map[string]float64, len(r.model.impulses)),
-		Events:   r.kernel.Fired(),
-		Firings:  r.firings,
-	}
-	window := horizon - warmup
-	for i, rr := range r.model.rates {
-		res.Rates[rr.Name] = (r.rateSt[i].tw.IntegralAt(horizon) - r.warmIntegral[i]) / window
-	}
-	for i, ir := range r.model.impulses {
-		res.Impulses[ir.Name] = r.impulses[i] - r.warmImpulses[i]
-	}
-	return res, nil
-}
-
-// snapshotWarmup records the reward accumulators' state at the warmup
-// point. It must run before any observation past the warmup time.
-func (r *Runner) snapshotWarmup() {
-	for i := range r.rateSt {
-		r.warmIntegral[i] = r.rateSt[i].tw.IntegralAt(r.warmup)
-	}
-	copy(r.warmImpulses, r.impulses)
-	r.warmSnapped = true
-}
-
-// peekTime returns the time of the next pending event, or +Inf.
-func (r *Runner) peekTime() float64 { return r.kernel.NextTime() }
-
-// fire completes an activity: input-gate functions run first, then one case
-// is selected by weight and its output gate runs. Gate execution runs with
-// dirty tracking on; once a fatal error is recorded the remaining gate
-// stages are skipped, so a failed replication never mutates the marking
-// past the error point.
-func (r *Runner) fire(s *actState) {
-	a := s.act
-	a.completed++
-	r.firings++
-	r.tracking = true
-	for _, fn := range a.inputFns {
-		fn()
-		if r.failed != nil {
-			r.tracking = false
-			return
-		}
-	}
-	var c Case
-	if len(a.cases) == 1 {
-		c = a.cases[0]
-	} else {
-		c = r.chooseCase(a)
-		if r.failed != nil {
-			r.tracking = false
-			return
-		}
-	}
-	c.Output()
-	r.tracking = false
-	if r.failed != nil {
-		return
-	}
-	for _, i := range s.impulseIdx {
-		r.impulses[i] += r.model.impulses[i].Fn()
-	}
-	for _, i := range s.rateIdx {
-		r.rateDirty.set(int(i))
-	}
-}
-
-// chooseCase selects one case by normalized weight.
-func (r *Runner) chooseCase(a *Activity) Case {
-	if len(a.cases) == 1 {
-		return a.cases[0]
-	}
-	total := 0.0
-	weights := r.caseWeights[:len(a.cases)]
-	for i, c := range a.cases {
-		w := c.Weight()
-		if w < 0 {
-			r.fail(fmt.Errorf("san: negative case weight on %s", a.name))
-			w = 0
-		}
-		weights[i] = w
-		total += w
-	}
-	if total <= 0 {
-		r.fail(fmt.Errorf("san: all case weights zero on %s", a.name))
-		return a.cases[0]
-	}
-	u := r.src.Float64() * total
-	acc := 0.0
-	for i, w := range weights {
-		acc += w
-		if u < acc {
-			return a.cases[i]
-		}
-	}
-	return a.cases[len(a.cases)-1]
-}
-
-// stabilize fires enabled instantaneous activities in (priority, definition)
-// order until none is enabled. Only candidates — activities whose watched
-// places were dirtied since they were last found disabled, plus the
-// wildcard set — are re-examined: an instantaneous activity that was
-// disabled at the end of the previous stabilization stays disabled until
-// some firing touches a place it reads.
-func (r *Runner) stabilize() error {
-	for n := 0; ; n++ {
-		if n > stabilizeCap {
-			err := fmt.Errorf("san: instantaneous livelock in model %q at t=%g", r.model.Name(), r.kernel.Now())
-			r.fail(err)
-			return err
-		}
-		r.candInst.or(r.wildInst)
-		fired := false
-		for i := r.candInst.next(0); i >= 0; i = r.candInst.next(i + 1) {
-			s := r.instants[i]
-			r.candInst.clear(i)
-			if s.act.enabled() {
-				r.fire(s)
-				// The firing may have left the activity enabled (its own
-				// reads untouched): keep it a candidate so the restarted
-				// scan re-examines it, as a full scan would.
-				r.candInst.set(i)
-				fired = true
-				break // restart the priority scan after each marking change
-			}
-		}
-		if r.failed != nil {
-			return r.failed
-		}
-		if !fired {
-			return nil
-		}
-	}
-}
-
-// refresh reconciles timed-activity activations with the current marking:
-// enabled-and-unscheduled activities get a sampled completion; scheduled-
-// but-disabled ones are aborted (race-enabled policy). Only candidate
-// activities are examined, in definition order — the same order a full
-// scan visits them — so the sequence of RNG delay draws is bit-identical
-// to the pre-index engine's.
-func (r *Runner) refresh() {
-	r.candTimed.or(r.wildTimed)
-	for i := r.candTimed.next(0); i >= 0; i = r.candTimed.next(i + 1) {
-		r.candTimed.clear(i)
-		s := r.timed[i]
-		scheduled := s.ev.Pending()
-		enabled := s.act.enabled()
-		switch {
-		case enabled && !scheduled:
-			delay := s.act.delay(r.src)
-			if delay < 0 || math.IsNaN(delay) {
-				r.fail(fmt.Errorf("san: activity %s sampled invalid delay %g", s.act.name, delay))
-				return
-			}
-			if err := r.kernel.ScheduleEventAfter(s.ev, delay); err != nil {
-				r.fail(err)
-				return
-			}
-		case !enabled && scheduled:
-			r.kernel.Cancel(s.ev)
-		}
-	}
-}
-
-// complete is the kernel handler for a timed-activity completion.
-func (r *Runner) complete(i int) {
-	s := r.timed[i]
-	r.fire(&s.actState)
-	// The completed activity is unscheduled and possibly still enabled:
-	// reconsider it regardless of what the firing touched.
-	r.candTimed.set(i)
-	if err := r.stabilize(); err != nil {
-		return
-	}
-	r.refresh()
-	r.observeRates()
-}
-
-// observeRates records the current value of every rate reward at the
-// current time. Only rewards whose watched places or activities were
-// dirtied since the last observation are re-evaluated; the rest observe
-// their cached value, so the accumulated integral is bit-identical to
-// evaluating every reward at every event.
-func (r *Runner) observeRates() {
-	now := r.kernel.Now()
-	st := r.rateSt
-	dirty := r.rateDirty
-	if len(dirty) == 1 {
-		// ≤64 rewards: hoist the dirty word out of the loop.
-		d := dirty[0]
-		for i := range st {
-			s := &st[i]
-			if d&(1<<uint(i)) != 0 {
-				s.val = s.fn()
-			}
-			s.tw.Observe(now, s.val)
-		}
-		dirty[0] = r.rateWildMask[0]
-		return
-	}
-	for i := range st {
-		s := &st[i]
-		if dirty.has(i) {
-			s.val = s.fn()
-		}
-		s.tw.Observe(now, s.val)
-	}
-	// Reset to the wildcard baseline: rewards without usable Refs stay
-	// dirty and are re-evaluated at every observation.
-	copy(dirty, r.rateWildMask)
-}
-
-// fail records a fatal execution error and halts the kernel.
-func (r *Runner) fail(err error) {
-	if r.failed == nil {
-		r.failed = err
-	}
-	r.kernel.Halt()
+	in.Reset(seed)
+	return &Runner{Instance: in}, nil
 }

@@ -321,12 +321,12 @@ type Model struct {
 	// notify, when set, is called on every recorded modeling error so a
 	// running Runner can fail fast instead of finishing with clamped state.
 	notify func(error)
-	// run, when set by a Runner, is notified of every place written (token
-	// places) or accessed mutably (extended places, via Get/Set) so it can
-	// maintain its dirty-place incidence sets. A direct field rather than a
-	// hook function: the runner-only-reacts-during-gate-execution check
-	// then inlines into the marking writes.
-	run *Runner
+	// run, when set by an Instance at Reset, is notified of every place
+	// written (token places) or accessed mutably (extended places, via
+	// Get/Set) so it can maintain its dirty-place incidence sets. A direct
+	// field rather than a hook function: the only-reacts-during-gate-
+	// execution check then inlines into the marking writes.
+	run *Instance
 }
 
 // NewModel creates an empty model.

@@ -25,6 +25,14 @@ import (
 // the whole batch run to its horizon.
 type Replicator func(ctx context.Context, rep int, seed uint64) (map[string]float64, error)
 
+// ReplicatorFactory constructs one Replicator per worker for RunPooled.
+// Each returned replicator is invoked serially by a single worker
+// goroutine, so it may carry state across replications — typically a
+// compiled model whose instance is reset per seed (core.Worker) — without
+// any locking. The factory itself may be called from the experiment's
+// goroutine multiple times; it must produce independent replicators.
+type ReplicatorFactory func() (Replicator, error)
+
 // Options controls an experiment run. Zero values select the defaults
 // documented per field.
 type Options struct {
@@ -123,10 +131,29 @@ func (s Summary) MetricNames() []string {
 // Run executes replications of rep until the stopping rule is satisfied.
 // It is deterministic for a given Options.Seed: per-replication seeds are
 // pre-derived, so parallel and serial execution produce identical
-// aggregates.
+// aggregates. rep must be safe for concurrent invocation; replicators
+// that carry per-worker state belong in RunPooled.
 func Run(ctx context.Context, rep Replicator, opts Options) (Summary, error) {
 	if rep == nil {
 		return Summary{}, fmt.Errorf("sim: nil replicator")
+	}
+	return RunPooled(ctx, func() (Replicator, error) { return rep, nil }, opts)
+}
+
+// RunPooled is Run with per-worker replicator state: factory is called
+// once per worker slot (at most Options.Parallelism times, lazily), and
+// each produced replicator is driven serially by its slot across batches.
+// A replicator can therefore compile its model once and reset a pooled
+// instance per replication, amortizing setup over the whole experiment.
+//
+// Determinism is unchanged from Run: replication seeds are pre-derived
+// from Options.Seed, replication i always receives seed i, and results
+// are folded into the accumulators in replication order — so pooled,
+// fresh, serial, and parallel execution all produce identical summaries
+// as long as each replication is a pure function of its seed.
+func RunPooled(ctx context.Context, factory ReplicatorFactory, opts Options) (Summary, error) {
+	if factory == nil {
+		return Summary{}, fmt.Errorf("sim: nil replicator factory")
 	}
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -138,6 +165,23 @@ func Run(ctx context.Context, rep Replicator, opts Options) (Summary, error) {
 	src := rng.New(opts.Seed)
 	for i := range seeds {
 		seeds[i] = src.Uint64()
+	}
+
+	// Worker slots, filled lazily: slot j serves replication j of every
+	// batch, so one slot never runs two replications at once.
+	workers := make([]Replicator, 0, opts.Parallelism)
+	ensureWorkers := func(n int) error {
+		for len(workers) < n {
+			w, err := factory()
+			if err != nil {
+				return fmt.Errorf("sim: building worker %d: %w", len(workers), err)
+			}
+			if w == nil {
+				return fmt.Errorf("sim: replicator factory returned nil for worker %d", len(workers))
+			}
+			workers = append(workers, w)
+		}
+		return nil
 	}
 
 	acc := make(map[string]*stats.Welford)
@@ -157,7 +201,10 @@ func Run(ctx context.Context, rep Replicator, opts Options) (Summary, error) {
 			// unless the batch already covers it.
 			batch = opts.MinReps - done
 		}
-		results, err := runBatch(ctx, rep, seeds[done:done+batch], done)
+		if err := ensureWorkers(batch); err != nil {
+			return Summary{}, err
+		}
+		results, err := runBatch(ctx, workers, seeds[done:done+batch], done)
 		if err != nil {
 			return Summary{}, err
 		}
@@ -189,9 +236,10 @@ func Run(ctx context.Context, rep Replicator, opts Options) (Summary, error) {
 	return out, nil
 }
 
-// runBatch executes one batch of replications concurrently, preserving
-// replication order in the returned slice.
-func runBatch(ctx context.Context, rep Replicator, seeds []uint64, base int) ([]map[string]float64, error) {
+// runBatch executes one batch of replications concurrently — replication
+// i of the batch on worker i — preserving replication order in the
+// returned slice.
+func runBatch(ctx context.Context, workers []Replicator, seeds []uint64, base int) ([]map[string]float64, error) {
 	results := make([]map[string]float64, len(seeds))
 	errs := make([]error, len(seeds))
 	var wg sync.WaitGroup
@@ -200,7 +248,7 @@ func runBatch(ctx context.Context, rep Replicator, seeds []uint64, base int) ([]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, err := rep(ctx, base+i, seeds[i])
+			r, err := workers[i](ctx, base+i, seeds[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("sim: replication %d: %w", base+i, err)
 				return

@@ -15,6 +15,14 @@ func BenchmarkTQuantile(b *testing.B) {
 	}
 }
 
+func BenchmarkTQuantileUncached(b *testing.B) {
+	// The bisection TQuantile runs once per distinct (level, df) and then
+	// serves from cache; this is the cost every stopping check used to pay.
+	for i := 0; i < b.N; i++ {
+		_ = tQuantileFresh(0.95, 20)
+	}
+}
+
 func BenchmarkTimeWeightedObserve(b *testing.B) {
 	var tw TimeWeighted
 	tw.Start(0, 0)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Welford accumulates a sample mean and variance in a single streaming pass
@@ -113,13 +114,39 @@ func (w *Welford) CI(level float64) Interval {
 	return iv
 }
 
+// tQuantileKey identifies one memoized critical value.
+type tQuantileKey struct {
+	level float64
+	df    int
+}
+
+// tQuantileCache memoizes TQuantile per (level, df). An experiment calls
+// TQuantile on every stopping check for every metric, but only ever with
+// a handful of levels and a df that grows with the replication count, so
+// the hit rate is near 1 after the first few batches. sync.Map fits the
+// access pattern (write once, read many, from concurrent experiment
+// cells).
+var tQuantileCache sync.Map
+
 // TQuantile returns the two-sided Student-t critical value for the given
 // confidence level and degrees of freedom: the value t such that
-// P(-t < T_df < t) = level.
+// P(-t < T_df < t) = level. Results are memoized per (level, df); the
+// bisection below runs once per distinct input.
 func TQuantile(level float64, df int) float64 {
 	if df < 1 {
 		return math.Inf(1)
 	}
+	key := tQuantileKey{level: level, df: df}
+	if v, ok := tQuantileCache.Load(key); ok {
+		return v.(float64)
+	}
+	t := tQuantileFresh(level, df)
+	tQuantileCache.Store(key, t)
+	return t
+}
+
+// tQuantileFresh computes the critical value by bisection, uncached.
+func tQuantileFresh(level float64, df int) float64 {
 	// Two-sided: we need the (1+level)/2 quantile.
 	p := (1 + level) / 2
 	// Invert the t CDF by bisection on [0, hi]. The CDF is monotone; 2000

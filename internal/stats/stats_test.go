@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -113,6 +114,41 @@ func TestTQuantileKnownValues(t *testing.T) {
 	if !math.IsInf(TQuantile(0.95, 0), 1) {
 		t.Error("df=0 should give +Inf")
 	}
+}
+
+func TestTQuantileCachedMatchesFresh(t *testing.T) {
+	// TQuantile memoizes per (level, df); every cached value must equal
+	// the uncached bisection bit for bit, including repeat lookups.
+	for _, level := range []float64{0.90, 0.95, 0.99} {
+		for df := 1; df <= 120; df++ {
+			fresh := tQuantileFresh(level, df)
+			for rep := 0; rep < 2; rep++ {
+				if got := TQuantile(level, df); got != fresh {
+					t.Fatalf("TQuantile(%g, %d) lookup %d = %v, fresh = %v",
+						level, df, rep, got, fresh)
+				}
+			}
+		}
+	}
+}
+
+func TestTQuantileConcurrent(t *testing.T) {
+	// Concurrent experiment cells hit the cache from many goroutines;
+	// under -race this verifies the memoization is data-race free.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for df := 1; df <= 60; df++ {
+				want := tQuantileFresh(0.95, df)
+				if got := TQuantile(0.95, df); got != want {
+					t.Errorf("concurrent TQuantile(0.95, %d) = %v, want %v", df, got, want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestCIContainsTrueMean(t *testing.T) {

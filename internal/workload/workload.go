@@ -119,6 +119,16 @@ func NewGenerator(spec Spec, src *rng.Source) (*Generator, error) {
 	return &Generator{spec: spec, src: src}, nil
 }
 
+// Reseed rewinds the generator for a new replication: its stream is
+// re-initialized in place to the state a fresh NewGenerator(spec,
+// parent.Split()) would hold when seed came from the same parent.Uint64()
+// draw, and the workload counter restarts (so deterministic 1:N sync
+// points realign to the stream). It never allocates.
+func (g *Generator) Reseed(seed uint64) {
+	g.src.Reseed(seed)
+	g.count = 0
+}
+
 // Next produces the next workload.
 func (g *Generator) Next() Workload {
 	g.count++

@@ -28,6 +28,9 @@ go test ./...
 echo "== go test -race ./internal/..."
 go test -race ./internal/...
 
+echo "== pooled-determinism gate (goldens + pooled/fresh equivalence, uncached)"
+go test -run 'Golden|PooledEquivalence' -count=1 ./internal/core ./internal/san ./internal/experiments
+
 echo "== bench smoke (./bench.sh smoke)"
 ./bench.sh smoke
 
