@@ -8,6 +8,11 @@
 #   ./bench.sh -setup [out]   # replication-setup cost only: the fresh
 #                             # build+compile path vs the pooled reseed+reset
 #                             # path (the compile-once executive's A/B)
+#   ./bench.sh json <label> [out.json]
+#                             # headline engine benchmarks (fig8, tandem-64)
+#                             # parsed into JSON under the given label via
+#                             # cmd/benchjson; default out
+#                             # results/bench/BENCH_pr4.json
 #   ./bench.sh [out.txt]      # full run, tee to the given file
 #
 # Compare two recorded runs with `benchstat old.txt new.txt` (not vendored;
@@ -26,6 +31,14 @@ smoke)
     # error out, without paying for stable numbers.
     exec go test -run '^$' -bench "$BENCH|BenchmarkReplicationSetup|BenchmarkTQuantile" \
         -benchtime 1x -benchmem $PKGS ./internal/stats
+    ;;
+json)
+    label="${2:?usage: ./bench.sh json <label> [out.json]}"
+    out="${3:-results/bench/BENCH_pr4.json}"
+    mkdir -p "$(dirname "$out")"
+    go test -run '^$' -bench 'BenchmarkRunnerFig8$|BenchmarkRunnerTandem/stations=64' \
+        -benchtime 1s -count=3 -benchmem ./internal/core ./internal/san |
+        go run ./cmd/benchjson -out "$out" -label "$label"
     ;;
 -setup)
     out="${2:-}"

@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// labeled JSON record, merging into an existing file so successive runs
+// (e.g. "before" and "after" an optimization) accumulate side by side:
+//
+//	go test -bench X -benchmem ./... | benchjson -out results/bench/BENCH.json -label before
+//
+// Each benchmark line's value/unit pairs (ns/op, B/op, allocs/op, plus
+// custom b.ReportMetric units like events/s) are averaged across -count
+// repetitions and keyed by unit, so the file needs no knowledge of which
+// metrics a benchmark reports.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's aggregated result under one label.
+type entry struct {
+	Runs    int                `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, msg io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	outPath := fs.String("out", "", "JSON file to merge results into (required)")
+	label := fs.String("label", "", "label to record this run under, e.g. before/after (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" || *label == "" {
+		return fmt.Errorf("-out and -label are required")
+	}
+	out, lbl := *outPath, *label
+	parsed, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(parsed) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	doc := map[string]map[string]entry{}
+	if buf, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(buf, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a benchjson file: %w", out, err)
+		}
+	}
+	doc[lbl] = parsed
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(msg, "benchjson: recorded %d benchmarks under %q in %s\n", len(parsed), lbl, out)
+	return nil
+}
+
+// parseBench extracts benchmark result lines: name, iteration count,
+// then (value, unit) pairs. Repeated lines for one name (go test -count)
+// are averaged.
+func parseBench(in io.Reader) (map[string]entry, error) {
+	type sum struct {
+		runs    int
+		metrics map[string]float64
+	}
+	acc := map[string]*sum{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // e.g. "BenchmarkX ... --- FAIL" shapes
+		}
+		name := fields[0]
+		s := acc[name]
+		if s == nil {
+			s = &sum{metrics: map[string]float64{}}
+			acc[name] = s
+		}
+		s.runs++
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			s.metrics[fields[i+1]] += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]entry, len(acc))
+	for name, s := range acc {
+		e := entry{Runs: s.runs, Metrics: make(map[string]float64, len(s.metrics))}
+		for unit, total := range s.metrics {
+			e.Metrics[unit] = total / float64(s.runs)
+		}
+		out[name] = e
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: vcpusim/internal/core
+BenchmarkRunnerFig8-8   	     100	  10000000 ns/op	  2000000 events/s	    4096 B/op	      12 allocs/op
+BenchmarkRunnerFig8-8   	     100	  12000000 ns/op	  1000000 events/s	    4096 B/op	      12 allocs/op
+BenchmarkRunnerTandem/stations=64-8  	      50	  20000000 ns/op	  5000000 events/s
+PASS
+ok  	vcpusim/internal/core	3.2s
+`
+
+func TestParseBenchAverages(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig8, ok := got["BenchmarkRunnerFig8-8"]
+	if !ok {
+		t.Fatalf("fig8 missing: %v", got)
+	}
+	if fig8.Runs != 2 {
+		t.Errorf("runs = %d, want 2", fig8.Runs)
+	}
+	if fig8.Metrics["ns/op"] != 11000000 {
+		t.Errorf("ns/op = %g, want mean 11000000", fig8.Metrics["ns/op"])
+	}
+	if fig8.Metrics["events/s"] != 1500000 {
+		t.Errorf("events/s = %g, want mean 1500000", fig8.Metrics["events/s"])
+	}
+	if fig8.Metrics["allocs/op"] != 12 {
+		t.Errorf("allocs/op = %g", fig8.Metrics["allocs/op"])
+	}
+	tandem, ok := got["BenchmarkRunnerTandem/stations=64-8"]
+	if !ok || tandem.Runs != 1 || tandem.Metrics["events/s"] != 5000000 {
+		t.Errorf("tandem = %+v, %v", tandem, ok)
+	}
+}
+
+func TestRunMergesLabels(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run([]string{"-out", out, "-label", "before"},
+		strings.NewReader(sampleBench), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", out, "-label", "after"},
+		strings.NewReader(sampleBench), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]map[string]entry
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"before", "after"} {
+		if _, ok := doc[label]["BenchmarkRunnerFig8-8"]; !ok {
+			t.Errorf("label %q missing fig8: %v", label, doc[label])
+		}
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := run([]string{"-out", out, "-label", "x"},
+		strings.NewReader("no benchmarks here\n"), io.Discard); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRunRequiresFlags(t *testing.T) {
+	if err := run(nil, strings.NewReader(sampleBench), io.Discard); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+}

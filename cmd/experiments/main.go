@@ -7,25 +7,24 @@
 //	experiments -figure 8 -engine san -seed 7
 //	experiments -figure 10 -csv out/
 //	experiments -figure timeslice|skew|balance|engines
+//	experiments -figure 8 -quick -manifest out/ -spans out/spans.jsonl
 //
 // Results print as ASCII tables with 95% confidence intervals; -csv also
-// writes one CSV per table into the given directory.
+// writes one CSV per table into the given directory. -progress streams
+// per-cell telemetry to stderr, -spans captures the full span stream as
+// JSONL, -manifest writes a machine-readable run manifest, and
+// -cpuprofile/-memprofile/-exectrace wire the standard Go profilers.
+//
+// The same driver is reachable as `vcpusim experiments`; both delegate
+// to internal/expcli.
 package main
 
 import (
-	"context"
-	"flag"
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"path/filepath"
-	"strings"
-	"time"
 
-	"vcpusim/internal/experiments"
-	"vcpusim/internal/report"
-	"vcpusim/internal/sim"
+	"vcpusim/internal/expcli"
 )
 
 func main() {
@@ -36,130 +35,5 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	var (
-		figure   = fs.String("figure", "all", "which experiment: 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, or all")
-		engine   = fs.String("engine", "fast", `simulation engine: "fast" or "san"`)
-		seed     = fs.Uint64("seed", 1, "experiment seed")
-		horizon  = fs.Int64("horizon", 20000, "simulated ticks per replication")
-		minRep   = fs.Int("min-reps", 10, "minimum replications per cell")
-		maxRep   = fs.Int("max-reps", 60, "maximum replications per cell")
-		csvDir   = fs.String("csv", "", "directory to also write per-table CSV files into")
-		chart    = fs.Bool("chart", false, "render results as ASCII bar charts instead of tables")
-		quick    = fs.Bool("quick", false, "quick mode: short horizon and few replications (smoke testing)")
-		parallel = fs.Int("parallel", 1, "number of experiment grid cells run concurrently per figure (results are identical at any value)")
-		progress = fs.Bool("progress", false, "print a per-cell progress line to stderr as cells finish")
-	)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	p := experiments.Defaults()
-	p.Engine = experiments.Engine(*engine)
-	p.Seed = *seed
-	p.Horizon = *horizon
-	p.Sim = sim.Options{MinReps: *minRep, MaxReps: *maxRep}
-	if *quick {
-		p.Horizon = 4000
-		p.Sim = sim.Options{MinReps: 3, MaxReps: 3, RelWidth: 10}
-	}
-	p.GridParallelism = *parallel
-	if *progress {
-		// Cells finish out of order under -parallel > 1; each line names
-		// its cell so the interleaving stays readable.
-		p.Progress = func(c experiments.CellResult) {
-			status := "converged"
-			if !c.Converged {
-				status = "budget exhausted"
-			}
-			fmt.Fprintf(os.Stderr, "cell %-45s %3d reps, %s, %s\n",
-				c.Cell, c.Replications, status, c.Elapsed.Round(time.Millisecond))
-		}
-	}
-
-	// Ctrl-C cancels the grid: in-flight cells stop at their next
-	// cancellation check instead of simulating to the horizon.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	type job struct {
-		name string
-		run  func() ([]*report.Table, error)
-	}
-	jobs := []job{
-		{"8", func() ([]*report.Table, error) { return one(experiments.Figure8(ctx, p)) }},
-		{"9", func() ([]*report.Table, error) { return one(experiments.Figure9(ctx, p)) }},
-		{"10", func() ([]*report.Table, error) {
-			eff, abs, err := experiments.Figure10(ctx, p)
-			if err != nil {
-				return nil, err
-			}
-			return []*report.Table{eff, abs}, nil
-		}},
-		{"timeslice", func() ([]*report.Table, error) { return one(experiments.TimesliceSweep(ctx, p, nil)) }},
-		{"skew", func() ([]*report.Table, error) { return one(experiments.SkewSweep(ctx, p, nil)) }},
-		{"balance", func() ([]*report.Table, error) { return one(experiments.BalanceAblation(ctx, p)) }},
-		{"lock", func() ([]*report.Table, error) { return one(experiments.LockAblation(ctx, p)) }},
-		{"hybrid", func() ([]*report.Table, error) { return one(experiments.HybridAblation(ctx, p)) }},
-		{"engines", func() ([]*report.Table, error) { return one(experiments.EngineComparison(ctx, p, 3)) }},
-	}
-
-	want := strings.ToLower(*figure)
-	ran := false
-	for _, j := range jobs {
-		if want != "all" && want != j.name {
-			continue
-		}
-		ran = true
-		tables, err := j.run()
-		if err != nil {
-			return fmt.Errorf("figure %s: %w", j.name, err)
-		}
-		for i, t := range tables {
-			if *chart {
-				if err := t.RenderChart(out, 40); err != nil {
-					return err
-				}
-			} else if err := t.Render(out); err != nil {
-				return err
-			}
-			fmt.Fprintln(out)
-			if *csvDir != "" {
-				name := fmt.Sprintf("figure_%s", j.name)
-				if len(tables) > 1 {
-					name = fmt.Sprintf("%s_%d", name, i+1)
-				}
-				if err := writeCSV(t, filepath.Join(*csvDir, name+".csv")); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	if !ran {
-		return fmt.Errorf("unknown figure %q (use 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, or all)", *figure)
-	}
-	return nil
-}
-
-// one adapts a single-table result to the job signature.
-func one(t *report.Table, err error) ([]*report.Table, error) {
-	if err != nil {
-		return nil, err
-	}
-	return []*report.Table{t}, nil
-}
-
-// writeCSV exports one table.
-func writeCSV(t *report.Table, path string) error {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("create csv dir: %w", err)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("create csv: %w", err)
-	}
-	defer f.Close()
-	if err := t.WriteCSV(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return expcli.Run(args, out)
 }

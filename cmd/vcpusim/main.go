@@ -6,13 +6,19 @@
 //
 //	vcpusim -config experiment.json
 //	vcpusim -config experiment.json -single -trace trace.jsonl -gantt
+//	vcpusim -config experiment.json -single -stats
 //	vcpusim vet -config experiment.json
+//	vcpusim experiments -figure 8 -quick -manifest out/
+//	vcpusim manifest -check out/manifest.json
 //
 // With -single, exactly one replication runs (point estimates, optional
-// event trace and Gantt rendering); otherwise the configured
-// confidence-interval controlled replications run. The vet subcommand
-// runs the static verifiers (model structure and source determinism)
-// instead of simulating; see internal/vet.
+// event trace, Gantt rendering, and -stats engine-counter dump);
+// otherwise the configured confidence-interval controlled replications
+// run. The vet subcommand runs the static verifiers (model structure and
+// source determinism) instead of simulating (see internal/vet); the
+// experiments subcommand is the full figure driver (see
+// internal/expcli); the manifest subcommand validates a run manifest
+// against the embedded schema and counter invariants.
 package main
 
 import (
@@ -25,7 +31,10 @@ import (
 
 	"vcpusim/internal/config"
 	"vcpusim/internal/core"
+	"vcpusim/internal/expcli"
 	"vcpusim/internal/fastsim"
+	"vcpusim/internal/obs"
+	"vcpusim/internal/san"
 	"vcpusim/internal/sim"
 	"vcpusim/internal/trace"
 	"vcpusim/internal/vet"
@@ -38,9 +47,16 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
-	if len(args) > 0 && args[0] == "vet" {
-		return vet.Run(args[1:], out)
+func run(args []string, out io.Writer) (err error) {
+	if len(args) > 0 {
+		switch args[0] {
+		case "vet":
+			return vet.Run(args[1:], out)
+		case "experiments":
+			return expcli.Run(args[1:], out)
+		case "manifest":
+			return runManifest(args[1:], out)
+		}
 	}
 	fs := flag.NewFlagSet("vcpusim", flag.ContinueOnError)
 	var (
@@ -48,13 +64,25 @@ func run(args []string, out io.Writer) error {
 		single     = fs.Bool("single", false, "run a single replication instead of CI-controlled replications")
 		tracePath  = fs.String("trace", "", "with -single: write the schedule-event trace as JSONL to this path")
 		gantt      = fs.Bool("gantt", false, "with -single: print a text Gantt chart of PCPU occupancy")
+		showStats  = fs.Bool("stats", false, "with -single: print engine counters (events, firings, stabilization depth, events/s)")
 	)
+	var prof obs.Profiles
+	prof.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *configPath == "" {
 		return fmt.Errorf("-config is required")
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	f, err := os.Open(*configPath)
 	if err != nil {
@@ -78,13 +106,35 @@ func run(args []string, out io.Writer) error {
 		cfg, exp.Scheduler.Name, exp.Engine, exp.HorizonTicks)
 
 	if *single {
-		return runSingle(out, cfg, factory, exp, *tracePath, *gantt)
+		return runSingle(out, cfg, factory, exp, *tracePath, *gantt, *showStats)
 	}
 	return runReplicated(out, cfg, factory, exp)
 }
 
+// runManifest implements `vcpusim manifest -check path`: schema
+// validation plus the counter invariants every healthy run satisfies.
+func runManifest(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vcpusim manifest", flag.ContinueOnError)
+	check := fs.String("check", "", "path to a manifest.json to validate (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *check == "" {
+		return fmt.Errorf("manifest: -check is required")
+	}
+	m, err := obs.ReadManifest(*check)
+	if err != nil {
+		return err
+	}
+	if err := m.CheckCounters(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "manifest ok: %s, %d cells, go %s\n", m.Tool, len(m.Cells), m.GoVersion)
+	return nil
+}
+
 // runSingle executes one replication, optionally tracing.
-func runSingle(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFactory, exp *config.Experiment, tracePath string, gantt bool) error {
+func runSingle(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFactory, exp *config.Experiment, tracePath string, gantt, showStats bool) error {
 	var (
 		metrics map[string]float64
 		rec     *trace.Recorder
@@ -94,6 +144,9 @@ func runSingle(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFacto
 	case exp.Engine == "san":
 		if tracePath != "" || gantt {
 			return fmt.Errorf("tracing requires the fast engine")
+		}
+		if showStats {
+			return runSingleSANStats(out, cfg, factory, exp)
 		}
 		metrics, err = core.RunReplication(cfg, factory, float64(exp.HorizonTicks), exp.Seed)
 	default:
@@ -106,19 +159,15 @@ func runSingle(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFacto
 			eng.SetTracer(rec)
 		}
 		metrics, err = eng.Run(exp.HorizonTicks)
+		if err == nil && showStats {
+			defer printFastStats(out, eng.Stats())
+		}
 	}
 	if err != nil {
 		return err
 	}
 
-	names := make([]string, 0, len(metrics))
-	for n := range metrics {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Fprintf(out, "%-24s %.4f\n", n, metrics[n])
-	}
+	printMetrics(out, metrics)
 
 	if rec != nil && tracePath != "" {
 		f, err := os.Create(tracePath)
@@ -138,15 +187,90 @@ func runSingle(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFacto
 	return nil
 }
 
-// runReplicated executes CI-controlled replications.
-func runReplicated(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFactory, exp *config.Experiment) error {
-	rep := func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
-		if exp.Engine == "san" {
-			return core.RunReplicationIntervalContext(ctx, cfg, factory, 0, float64(exp.HorizonTicks), seed)
-		}
-		return fastsim.RunReplication(cfg, factory, exp.HorizonTicks, seed)
+// runSingleSANStats runs one SAN replication through a Worker with the
+// clock and per-activity counters enabled, then dumps the stats.
+func runSingleSANStats(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFactory, exp *config.Experiment) error {
+	w, err := core.NewWorker(cfg, factory)
+	if err != nil {
+		return err
 	}
-	sum, err := sim.Run(context.Background(), rep, exp.SimOptions())
+	w.SetClock(obs.Clock)
+	w.EnableActivityStats()
+	metrics, err := w.Run(float64(exp.HorizonTicks), exp.Seed)
+	if err != nil {
+		return err
+	}
+	printMetrics(out, metrics)
+	printSANStats(out, w.LastStats(), w.Program().ActivityNames())
+	return nil
+}
+
+func printMetrics(out io.Writer, metrics map[string]float64) {
+	names := make([]string, 0, len(metrics))
+	for n := range metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(out, "%-24s %.4f\n", n, metrics[n])
+	}
+}
+
+func printSANStats(out io.Writer, s san.Stats, names []string) {
+	fmt.Fprintf(out, "\nengine counters (san):\n")
+	fmt.Fprintf(out, "  events fired            %d\n", s.EventsFired)
+	fmt.Fprintf(out, "  timed firings           %d\n", s.TimedFirings)
+	fmt.Fprintf(out, "  instantaneous firings   %d\n", s.InstFirings)
+	fmt.Fprintf(out, "  aborted activities      %d\n", s.Aborts)
+	fmt.Fprintf(out, "  events scheduled        %d\n", s.EventsScheduled)
+	fmt.Fprintf(out, "  events cancelled        %d\n", s.EventsCancelled)
+	fmt.Fprintf(out, "  stabilization iters     %d (max depth %d)\n", s.StabilizeIters, s.MaxStabilizeDepth)
+	if s.WallTime > 0 {
+		fmt.Fprintf(out, "  wall time               %s (%.0f events/s)\n", s.WallTime, s.EventsPerSec())
+	}
+	if len(s.ActivityFirings) == len(names) && len(names) > 0 {
+		fmt.Fprintf(out, "  activity firings:\n")
+		for i, n := range names {
+			if s.ActivityFirings[i] > 0 {
+				fmt.Fprintf(out, "    %-32s %d\n", n, s.ActivityFirings[i])
+			}
+		}
+	}
+}
+
+func printFastStats(out io.Writer, s fastsim.Stats) {
+	fmt.Fprintf(out, "\nengine counters (fast):\n")
+	fmt.Fprintf(out, "  ticks                   %d\n", s.Ticks)
+	fmt.Fprintf(out, "  jobs completed          %d\n", s.Jobs)
+	fmt.Fprintf(out, "  sync unblocks           %d\n", s.Unblocks)
+	fmt.Fprintf(out, "  schedule-ins            %d\n", s.ScheduleIns)
+	fmt.Fprintf(out, "  schedule-outs           %d\n", s.ScheduleOuts)
+}
+
+// runReplicated executes CI-controlled replications through the pooled
+// executive: on the SAN engine each worker slot compiles the model once.
+func runReplicated(out io.Writer, cfg core.SystemConfig, factory core.SchedulerFactory, exp *config.Experiment) error {
+	var fac sim.ReplicatorFactory
+	if exp.Engine == "san" {
+		fac = func() (sim.Replicator, error) {
+			w, err := core.NewWorker(cfg, factory)
+			if err != nil {
+				return nil, err
+			}
+			return func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
+				return w.RunIntervalContext(ctx, 0, float64(exp.HorizonTicks), seed)
+			}, nil
+		}
+	} else {
+		rep := func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return fastsim.RunReplication(cfg, factory, exp.HorizonTicks, seed)
+		}
+		fac = func() (sim.Replicator, error) { return rep, nil }
+	}
+	sum, err := sim.RunPooled(context.Background(), fac, exp.SimOptions())
 	if err != nil {
 		return err
 	}

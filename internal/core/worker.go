@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"maps"
+	"time"
 
 	"vcpusim/internal/rng"
 	"vcpusim/internal/san"
@@ -57,6 +58,22 @@ func NewWorker(cfg SystemConfig, factory SchedulerFactory) (*Worker, error) {
 // System returns the worker's compiled system. Its marking reflects the
 // last replication run; callers must not mutate it.
 func (w *Worker) System() *System { return w.sys }
+
+// Program returns the compiled SAN program the worker executes (activity
+// names for per-activity stats, model access).
+func (w *Worker) Program() *san.Program { return w.inst.Program() }
+
+// SetClock injects a monotonic wall clock (obs.Clock) into the pooled
+// instance so LastStats reports wall time and events/s; nil disables.
+func (w *Worker) SetClock(fn func() time.Duration) { w.inst.SetClock(fn) }
+
+// EnableActivityStats turns on the pooled instance's per-activity firing
+// counters (indexed like Program().ActivityNames()).
+func (w *Worker) EnableActivityStats() { w.inst.EnableActivityStats() }
+
+// LastStats returns the engine counters of the most recent replication
+// (counters reset at the start of each one).
+func (w *Worker) LastStats() san.Stats { return w.inst.Stats() }
 
 // RunIntervalContext executes one replication seeded with seed, measuring
 // rewards over [warmup, horizon] and honoring ctx cancellation. It is the

@@ -41,11 +41,13 @@ func (e *Event) Pending() bool { return e.index >= 0 }
 // Kernel is a discrete-event simulation executor. The zero value is not
 // usable; construct with NewKernel.
 type Kernel struct {
-	now    float64
-	queue  eventQueue
-	seq    uint64
-	fired  uint64
-	halted bool
+	now       float64
+	queue     eventQueue
+	seq       uint64
+	fired     uint64
+	scheduled uint64
+	cancelled uint64
+	halted    bool
 }
 
 // NewKernel returns a kernel with the clock at zero and an empty event list.
@@ -72,11 +74,20 @@ func (k *Kernel) Reset() {
 	k.now = 0
 	k.seq = 0
 	k.fired = 0
+	k.scheduled = 0
+	k.cancelled = 0
 	k.halted = false
 }
 
 // Fired returns the number of events executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Scheduled returns the number of event-list insertions so far (Schedule,
+// ScheduleAfter, and reusable-event scheduling all count).
+func (k *Kernel) Scheduled() uint64 { return k.scheduled }
+
+// Cancelled returns the number of pending events removed by Cancel.
+func (k *Kernel) Cancelled() uint64 { return k.cancelled }
 
 // Len returns the number of pending events.
 func (k *Kernel) Len() int { return len(k.queue) }
@@ -104,6 +115,7 @@ func (k *Kernel) Schedule(t float64, priority int, name string, handler Handler)
 		return nil, fmt.Errorf("des: nil handler for event %q", name)
 	}
 	k.seq++
+	k.scheduled++
 	ev := &Event{time: t, priority: priority, seq: k.seq, handler: handler, name: name}
 	heap.Push(&k.queue, ev)
 	return ev, nil
@@ -142,6 +154,7 @@ func (k *Kernel) ScheduleEventAt(ev *Event, t float64) error {
 		return fmt.Errorf("%w: %g < now %g (%s)", ErrPast, t, k.now, ev.name)
 	}
 	k.seq++
+	k.scheduled++
 	ev.time = t
 	ev.seq = k.seq
 	heap.Push(&k.queue, ev)
@@ -161,6 +174,7 @@ func (k *Kernel) Cancel(ev *Event) {
 	}
 	heap.Remove(&k.queue, ev.index)
 	ev.index = -1
+	k.cancelled++
 }
 
 // Halt stops the run loop after the current event completes.

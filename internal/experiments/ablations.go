@@ -78,7 +78,7 @@ func SkewSweep(ctx context.Context, p Params, enterSkews []int64) (*report.Table
 				ExitSkew:  enter / 2,
 			})
 		}
-		sum, err := p.runCell(ctx, cfg, core.SchedulerFactory(factory))
+		sum, err := p.runCell(ctx, fmt.Sprintf("skew sweep enter=%d", enter), cfg, core.SchedulerFactory(factory))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: skew sweep enter=%d: %w", enter, err)
 		}
@@ -125,7 +125,7 @@ func BalanceAblation(ctx context.Context, p Params) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sum, err := p.runCell(ctx, cfg, factory)
+		sum, err := p.runCell(ctx, "balance ablation "+algo, cfg, factory)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: balance ablation %s: %w", algo, err)
 		}
@@ -180,7 +180,7 @@ func LockAblation(ctx context.Context, p Params) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sum, err := p.runCell(ctx, cfg, factory)
+		sum, err := p.runCell(ctx, "lock ablation "+algo, cfg, factory)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: lock ablation %s: %w", algo, err)
 		}
@@ -307,7 +307,7 @@ func HybridAblation(ctx context.Context, p Params) (*report.Table, error) {
 		"Extension: hybrid scheduling (Weng et al.), lock-heavy 3-VCPU VM + independent 2-VCPU VM, 4 PCPUs",
 		"metric", rows, []string{"RRS", "SCS", "Hybrid(co:parallel)"})
 	for _, algo := range algos {
-		sum, err := p.runCell(ctx, cfg, algo.factory)
+		sum, err := p.runCell(ctx, "hybrid ablation "+algo.name, cfg, algo.factory)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: hybrid ablation %s: %w", algo.name, err)
 		}

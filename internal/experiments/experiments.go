@@ -18,8 +18,10 @@ import (
 
 	"vcpusim/internal/core"
 	"vcpusim/internal/fastsim"
+	"vcpusim/internal/obs"
 	"vcpusim/internal/report"
 	"vcpusim/internal/rng"
+	"vcpusim/internal/san"
 	"vcpusim/internal/sched"
 	"vcpusim/internal/sim"
 	"vcpusim/internal/stats"
@@ -67,25 +69,14 @@ type Params struct {
 	// replication seeds derive from Seed alone, and tables are filled in a
 	// fixed order after the cells complete.
 	GridParallelism int
-	// Progress, when non-nil, is called once per completed grid cell —
-	// out of order when GridParallelism > 1. Calls are serialized, so the
-	// callback needs no locking, but it runs on the experiment's critical
-	// path and must not block for long.
-	Progress func(CellResult)
-}
-
-// CellResult describes one completed experiment grid cell for progress
-// reporting.
-type CellResult struct {
-	// Cell names the cell, e.g. "figure 8 RCS 3PCPU".
-	Cell string
-	// Replications is the number of replications the cell consumed.
-	Replications int
-	// Converged reports whether the cell met its CI target (as opposed to
-	// exhausting the replication budget).
-	Converged bool
-	// Elapsed is the cell's wall-clock duration.
-	Elapsed time.Duration
+	// Sink, when non-nil, receives the experiment's telemetry span
+	// stream: cell.start / cell.end events (with per-cell engine-counter
+	// rollups, replication counts, and wall time) from the grid, plus the
+	// replication controller's sim.batch / sim.stop events, each stamped
+	// with its cell name. Implementations must tolerate concurrent Emit
+	// calls when GridParallelism > 1 (every obs sink does). Nil means
+	// telemetry off: no event, counter rollup, or timestamp is taken.
+	Sink obs.Sink
 }
 
 // Defaults returns the parameterization used for EXPERIMENTS.md.
@@ -221,8 +212,9 @@ func withEfficiency(m map[string]float64) map[string]float64 {
 // replicator builds a stateless sim.Replicator for one (config,
 // algorithm) cell, adding the derived efficiency metric. Every
 // replication pays the full model-construction cost; the pooled path
-// (replicatorFactory) is preferred for experiments.
-func (p Params) replicator(cfg core.SystemConfig, factory core.SchedulerFactory) sim.Replicator {
+// (replicatorFactory) is preferred for experiments. When acc is non-nil,
+// each replication folds its engine counters into it.
+func (p Params) replicator(cfg core.SystemConfig, factory core.SchedulerFactory, acc *obs.Accumulator) sim.Replicator {
 	return func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -235,7 +227,14 @@ func (p Params) replicator(cfg core.SystemConfig, factory core.SchedulerFactory)
 		case EngineSAN:
 			m, err = core.RunReplicationIntervalContext(ctx, cfg, factory, float64(p.Warmup), float64(p.Horizon), seed)
 		case EngineFast:
-			m, err = fastsim.RunReplicationInterval(cfg, factory, p.Warmup, p.Horizon, seed)
+			eng, buildErr := fastsim.New(cfg, factory(), seed)
+			if buildErr != nil {
+				return nil, buildErr
+			}
+			m, err = eng.RunInterval(p.Warmup, p.Horizon)
+			if err == nil && acc != nil {
+				acc.Add(fastCounters(eng.Stats()))
+			}
 		default:
 			return nil, fmt.Errorf("experiments: unknown engine %q", p.Engine)
 		}
@@ -246,21 +245,54 @@ func (p Params) replicator(cfg core.SystemConfig, factory core.SchedulerFactory)
 	}
 }
 
+// fastCounters maps the fast engine's tick-loop counters onto the
+// engine-agnostic rollup.
+func fastCounters(s fastsim.Stats) obs.Counters {
+	return obs.Counters{
+		Events:       uint64(s.Ticks),
+		Firings:      uint64(s.Jobs + s.Unblocks),
+		TimedFirings: uint64(s.Jobs),
+		InstFirings:  uint64(s.Unblocks),
+		Scheduled:    uint64(s.ScheduleIns),
+		Cancelled:    uint64(s.ScheduleOuts),
+	}
+}
+
+// sanCounters maps one SAN replication's stats onto the rollup.
+func sanCounters(s san.Stats) obs.Counters {
+	return obs.Counters{
+		Events:            s.EventsFired,
+		Firings:           s.TimedFirings + s.InstFirings,
+		TimedFirings:      s.TimedFirings,
+		InstFirings:       s.InstFirings,
+		Aborts:            s.Aborts,
+		Scheduled:         s.EventsScheduled,
+		Cancelled:         s.EventsCancelled,
+		StabilizeIters:    s.StabilizeIters,
+		MaxStabilizeDepth: s.MaxStabilizeDepth,
+		WallNS:            s.WallTime.Nanoseconds(),
+	}
+}
+
 // replicatorFactory builds a sim.ReplicatorFactory for one (config,
 // algorithm) cell. On the SAN engine each sim worker slot gets its own
 // core.Worker — the model is built and compiled once per slot, and every
 // replication only reseeds it — which is where the compile-once
 // executive's speedup comes from. The fast engine's replicator is
-// stateless and shared across slots.
-func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerFactory) sim.ReplicatorFactory {
+// stateless and shared across slots. A non-nil acc collects every
+// replication's engine counters (the per-cell telemetry rollup).
+func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerFactory, acc *obs.Accumulator) sim.ReplicatorFactory {
 	if p.Engine != EngineSAN {
-		rep := p.replicator(cfg, factory)
+		rep := p.replicator(cfg, factory, acc)
 		return func() (sim.Replicator, error) { return rep, nil }
 	}
 	return func() (sim.Replicator, error) {
 		w, err := core.NewWorker(cfg, factory)
 		if err != nil {
 			return nil, err
+		}
+		if acc != nil {
+			w.SetClock(obs.Clock)
 		}
 		return func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
 			if err := ctx.Err(); err != nil {
@@ -270,30 +302,60 @@ func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerF
 			if err != nil {
 				return nil, err
 			}
+			if acc != nil {
+				acc.Add(sanCounters(w.LastStats()))
+			}
 			return withEfficiency(m), nil
 		}, nil
 	}
 }
 
 // runCell executes one (config, scheduler) experiment cell through the
-// pooled executive and returns the summary.
-func (p Params) runCell(ctx context.Context, cfg core.SystemConfig, factory core.SchedulerFactory) (sim.Summary, error) {
+// pooled executive and returns the summary. With a telemetry sink
+// installed it brackets the cell in cell.start / cell.end spans, forwards
+// the replication controller's spans stamped with the cell name, and
+// rolls the per-replication engine counters up into the cell.end event;
+// with no sink the cell runs exactly as before — no counters, no clock.
+func (p Params) runCell(ctx context.Context, cell string, cfg core.SystemConfig, factory core.SchedulerFactory) (sim.Summary, error) {
 	opts := p.Sim
 	opts.Seed = p.Seed
-	return sim.RunPooled(ctx, p.replicatorFactory(cfg, factory), opts)
+	if p.Sink == nil {
+		return sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, nil), opts)
+	}
+	p.Sink.Emit(obs.Event{Kind: obs.KindCellStart, Cell: cell})
+	opts.Sink = obs.WithCell(p.Sink, cell)
+	acc := &obs.Accumulator{}
+	start := time.Now()
+	sum, err := sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, acc), opts)
+	if err != nil {
+		return sum, err
+	}
+	elapsed := time.Since(start)
+	counters := acc.Counters()
+	counters.WallNS = elapsed.Nanoseconds()
+	counters.FillRate()
+	p.Sink.Emit(obs.Event{
+		Kind:      obs.KindCellEnd,
+		Cell:      cell,
+		Reps:      sum.Replications,
+		Converged: sum.Converged,
+		ElapsedNS: elapsed.Nanoseconds(),
+		Counters:  &counters,
+	})
+	return sum, nil
 }
 
 // run executes one experiment cell and returns the summary.
-func (p Params) run(ctx context.Context, cfg core.SystemConfig, algo string) (sim.Summary, error) {
+func (p Params) run(ctx context.Context, cell string, cfg core.SystemConfig, algo string) (sim.Summary, error) {
 	factory, err := p.schedFactory(algo)
 	if err != nil {
 		return sim.Summary{}, err
 	}
-	return p.runCell(ctx, cfg, factory)
+	return p.runCell(ctx, cell, cfg, factory)
 }
 
-// gridJob is one cell of a figure's experiment grid: a name for
-// progress reporting plus the work itself. The run closure wraps its
+// gridJob is one cell of a figure's experiment grid: a name (also the
+// telemetry cell label) plus the work itself. The run closure wraps its
 // own error with cell context, so runGrid can return it untouched.
 type gridJob struct {
 	name string
@@ -303,8 +365,9 @@ type gridJob struct {
 // runGrid executes the grid cells with at most GridParallelism in
 // flight, returning summaries indexed like jobs. With GridParallelism 1
 // the cells run in order, exactly as the serial loops did. The first
-// cell error cancels the rest of the grid. Progress callbacks are
-// serialized but arrive in completion order.
+// cell error cancels the rest of the grid. Telemetry (spans, timing,
+// counter rollups) is handled per cell by runCell, so span streams from
+// concurrent cells interleave by event, each stamped with its cell name.
 func (p Params) runGrid(ctx context.Context, jobs []gridJob) ([]sim.Summary, error) {
 	par := p.GridParallelism
 	if par < 1 {
@@ -326,29 +389,17 @@ func (p Params) runGrid(ctx context.Context, jobs []gridJob) ([]sim.Summary, err
 		})
 	}
 	sums := make([]sim.Summary, len(jobs))
-	var progressMu sync.Mutex
 	runJob := func(i int) {
 		if err := gctx.Err(); err != nil {
 			fail(err)
 			return
 		}
-		start := time.Now()
 		sum, err := jobs[i].run(gctx)
 		if err != nil {
 			fail(err)
 			return
 		}
 		sums[i] = sum
-		if p.Progress != nil {
-			progressMu.Lock()
-			p.Progress(CellResult{
-				Cell:         jobs[i].name,
-				Replications: sum.Replications,
-				Converged:    sum.Converged,
-				Elapsed:      time.Since(start),
-			})
-			progressMu.Unlock()
-		}
 	}
 	if par == 1 {
 		for i := range jobs {
@@ -404,10 +455,11 @@ func Figure8(ctx context.Context, p Params) (*report.Table, error) {
 	for i, algo := range p.Algorithms {
 		for j := 0; j < 4; j++ {
 			algo, pcpus := algo, j+1
+			name := "figure 8 " + rows[i*4+j]
 			jobs[i*4+j] = gridJob{
-				name: "figure 8 " + rows[i*4+j],
+				name: name,
 				run: func(ctx context.Context) (sim.Summary, error) {
-					sum, err := p.run(ctx, p.fig8Config(pcpus), algo)
+					sum, err := p.run(ctx, name, p.fig8Config(pcpus), algo)
 					if err != nil {
 						return sim.Summary{}, fmt.Errorf("experiments: figure 8 %s/%d PCPUs: %w", algo, pcpus, err)
 					}
@@ -454,10 +506,11 @@ func Figure9(ctx context.Context, p Params) (*report.Table, error) {
 		}
 		for _, algo := range p.Algorithms {
 			s, cfg, algo := s, cfg, algo
+			name := fmt.Sprintf("figure 9 %s %s", s, algo)
 			jobs = append(jobs, gridJob{
-				name: fmt.Sprintf("figure 9 %s %s", s, algo),
+				name: name,
 				run: func(ctx context.Context) (sim.Summary, error) {
-					sum, err := p.run(ctx, cfg, algo)
+					sum, err := p.run(ctx, name, cfg, algo)
 					if err != nil {
 						return sim.Summary{}, fmt.Errorf("experiments: figure 9 %s/%s: %w", s, algo, err)
 					}
@@ -512,10 +565,11 @@ func Figure10(ctx context.Context, p Params) (efficiency, absolute *report.Table
 			row := fmt.Sprintf("%s sync 1:%d", s, n)
 			for _, algo := range p.Algorithms {
 				cfg, row, algo := cfg, row, algo
+				name := fmt.Sprintf("figure 10 %s %s", row, algo)
 				jobs = append(jobs, gridJob{
-					name: fmt.Sprintf("figure 10 %s %s", row, algo),
+					name: name,
 					run: func(ctx context.Context) (sim.Summary, error) {
-						sum, err := p.run(ctx, cfg, algo)
+						sum, err := p.run(ctx, name, cfg, algo)
 						if err != nil {
 							return sim.Summary{}, fmt.Errorf("experiments: figure 10 %s/%s: %w", row, algo, err)
 						}
@@ -545,7 +599,7 @@ func Figure10(ctx context.Context, p Params) (efficiency, absolute *report.Table
 
 // cell is a generic helper for ablation tables.
 func (p Params) cell(ctx context.Context, t *report.Table, cfg core.SystemConfig, row, col, metric string, factory core.SchedulerFactory) error {
-	sum, err := p.runCell(ctx, cfg, factory)
+	sum, err := p.runCell(ctx, row+" "+col, cfg, factory)
 	if err != nil {
 		return fmt.Errorf("experiments: %s/%s: %w", row, col, err)
 	}

@@ -210,7 +210,7 @@ func TestEfficiencyMetricDerivation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := p.replicator(cfg, factory)
+	rep := p.replicator(cfg, factory, nil)
 	m, err := rep(context.Background(), 0, 7)
 	if err != nil {
 		t.Fatal(err)

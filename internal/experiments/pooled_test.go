@@ -5,6 +5,7 @@ import (
 	"context"
 	"testing"
 
+	"vcpusim/internal/obs"
 	"vcpusim/internal/sim"
 )
 
@@ -25,7 +26,7 @@ func TestSANPooledEquivalenceAcrossParallelism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum, err := p.withDefaults().runCell(context.Background(), p.fig8Config(2), factory)
+		sum, err := p.withDefaults().runCell(context.Background(), "pooled equivalence", p.fig8Config(2), factory)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,29 +75,36 @@ func TestGridParallelismEquivalence(t *testing.T) {
 	}
 }
 
-// TestGridProgressCallback verifies every cell reports exactly once with
-// a usable payload, at any grid parallelism.
-func TestGridProgressCallback(t *testing.T) {
+// TestGridTelemetryCollector verifies every cell reports exactly one
+// cell.end span with a usable payload, at any grid parallelism.
+func TestGridTelemetryCollector(t *testing.T) {
 	for _, par := range []int{1, 3} {
 		p := quickParams()
 		p.GridParallelism = par
-		seen := make(map[string]CellResult)
-		p.Progress = func(c CellResult) {
-			if _, dup := seen[c.Cell]; dup {
-				t.Errorf("cell %q reported twice", c.Cell)
-			}
-			seen[c.Cell] = c
-		}
+		col := &obs.Collector{}
+		p.Sink = col
 		if _, err := Figure9(context.Background(), p); err != nil {
 			t.Fatal(err)
 		}
+		cells := col.Cells()
 		wantCells := 3 * len(p.withDefaults().Algorithms) // 3 VM sets
-		if len(seen) != wantCells {
-			t.Fatalf("parallelism %d: %d progress reports, want %d", par, len(seen), wantCells)
+		if len(cells) != wantCells {
+			t.Fatalf("parallelism %d: %d cell.end spans, want %d", par, len(cells), wantCells)
 		}
-		for name, c := range seen {
-			if c.Replications < 2 || c.Elapsed <= 0 {
-				t.Errorf("cell %q reported implausible progress: %+v", name, c)
+		seen := make(map[string]bool)
+		for _, c := range cells {
+			if seen[c.Cell] {
+				t.Errorf("cell %q reported twice", c.Cell)
+			}
+			seen[c.Cell] = true
+			if c.Replications < 2 || c.ElapsedNS <= 0 {
+				t.Errorf("cell %q reported implausible span: %+v", c.Cell, c)
+			}
+			if c.Counters.Events == 0 || c.Counters.Firings == 0 {
+				t.Errorf("cell %q rollup has zero engine counters: %+v", c.Cell, c.Counters)
+			}
+			if c.Counters.EventsPerSec <= 0 {
+				t.Errorf("cell %q missing events/s: %+v", c.Cell, c.Counters)
 			}
 		}
 	}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"vcpusim/internal/obs"
+	"vcpusim/internal/sim"
+)
+
+var updateSpans = flag.Bool("update", false, "rewrite the golden span-stream fixture")
+
+// volatileFields zeroes the wall-clock-dependent values in a span line,
+// leaving everything the seed determines.
+var volatileFields = regexp.MustCompile(`"(elapsed_ns|wall_ns|events_per_sec)":[-+0-9.eE]+`)
+
+func scrubSpans(b []byte) []byte {
+	return volatileFields.ReplaceAll(b, []byte(`"$1":0`))
+}
+
+// TestSpanStreamGolden locks the telemetry span stream of a tiny
+// deterministic two-cell SAN run against a checked-in fixture: kinds,
+// order, cell stamps, batch/stop payloads, CI widths, and engine-counter
+// rollups must all reproduce bit-for-bit (wall-clock fields scrubbed).
+// Regenerate with `go test ./internal/experiments -run SpanStreamGolden
+// -update` and review the diff.
+func TestSpanStreamGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	p := Params{
+		Engine:  EngineSAN,
+		Horizon: 300,
+		Seed:    5,
+		Sim:     sim.Options{MinReps: 2, MaxReps: 2, RelWidth: 10, Parallelism: 1},
+		Sink:    sink,
+	}
+	p = p.withDefaults()
+	cfg := p.fig8Config(1)
+	for _, cell := range []struct{ name, algo string }{
+		{"golden RRS 1PCPU", "RRS"},
+		{"golden SCS 1PCPU", "SCS"},
+	} {
+		if _, err := p.run(context.Background(), cell.name, cfg, cell.algo); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := scrubSpans(buf.Bytes())
+
+	golden := filepath.Join("testdata", "spans_golden.jsonl")
+	if *updateSpans {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("span stream drifted from golden fixture.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -75,8 +75,41 @@ type Engine struct {
 	workTicks    int64
 	sampled      int64
 
+	// Engine counters (see Stats): plain increments, always on.
+	schedIns  int64
+	schedOuts int64
+
 	// Tracer, if any, observes schedule-in/out transitions.
 	tracer Tracer
+}
+
+// Stats is the fast engine's counter snapshot, the tick-loop counterpart
+// of san.Stats: sampled ticks stand in for kernel events, and job-flow
+// completions (dispatches plus barrier releases) for activity firings.
+// Jobs and Unblocks count inside the measurement window only, matching
+// the JobsMetric/UnblocksMetric rewards.
+type Stats struct {
+	// Ticks is the number of sampled (post-warmup) ticks.
+	Ticks int64
+	// Jobs is the number of workloads dispatched across all VMs.
+	Jobs int64
+	// Unblocks is the number of barrier releases across all VMs.
+	Unblocks int64
+	// ScheduleIns / ScheduleOuts count PCPU grants and revocations over
+	// the whole run (not warmup-windowed).
+	ScheduleIns  int64
+	ScheduleOuts int64
+}
+
+// Stats returns the engine counters accumulated so far. Call after Run;
+// a single-use engine never resets them.
+func (e *Engine) Stats() Stats {
+	s := Stats{Ticks: e.sampled, ScheduleIns: e.schedIns, ScheduleOuts: e.schedOuts}
+	for vi := range e.vms {
+		s.Jobs += e.vms[vi].jobs
+		s.Unblocks += e.vms[vi].unblocks
+	}
+	return s
 }
 
 // Tracer observes scheduling transitions in the fast engine; see the trace
@@ -364,6 +397,7 @@ func (e *Engine) scheduleOut(id int, expired bool) {
 		e.vms[v.vm].numReady--
 	}
 	v.status = core.Inactive
+	e.schedOuts++
 	if e.tracer != nil {
 		e.tracer.ScheduleOut(e.now, id, p, expired)
 	}
@@ -405,6 +439,7 @@ func (e *Engine) apply(acts *core.Actions) error {
 			v.status = core.Ready
 			e.vms[v.vm].numReady++
 		}
+		e.schedIns++
 		if e.tracer != nil {
 			e.tracer.ScheduleIn(e.now, a.VCPU, a.PCPU)
 		}

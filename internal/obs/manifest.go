@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+)
+
+// ManifestSchemaVersion is the current manifest schema generation,
+// recorded in every manifest and checked by the validator.
+const ManifestSchemaVersion = 1
+
+// Manifest is the provenance record of one experiment invocation: enough
+// to re-run it (seed, parameters, tool build) and to check what it did
+// (per-cell replication counts, engine counters, wall time, output file
+// hashes). It is written as manifest.json into the run's results
+// directory and validated against the embedded JSON schema.
+type Manifest struct {
+	Schema      int            `json:"schema"`
+	Tool        string         `json:"tool"`
+	GoVersion   string         `json:"go_version"`
+	VCSRevision string         `json:"vcs_revision,omitempty"`
+	Command     []string       `json:"command,omitempty"`
+	Seed        uint64         `json:"seed"`
+	Params      map[string]any `json:"params,omitempty"`
+	Cells       []ManifestCell `json:"cells"`
+	Outputs     []OutputFile   `json:"outputs,omitempty"`
+	WallNS      int64          `json:"wall_ns"`
+}
+
+// ManifestCell is one grid cell's rollup.
+type ManifestCell struct {
+	Cell         string   `json:"cell"`
+	Replications int      `json:"replications"`
+	Converged    bool     `json:"converged"`
+	ElapsedNS    int64    `json:"elapsed_ns"`
+	Counters     Counters `json:"counters"`
+}
+
+// OutputFile records the hash of one file the run produced.
+type OutputFile struct {
+	Path   string `json:"path"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// VCSRevision returns the source revision the running binary was built
+// from: the vcs.revision build setting when the binary was stamped, else
+// the output of `git rev-parse HEAD` (covers `go run` and `go test`,
+// which disable VCS stamping), else "".
+func VCSRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// HashOutput hashes one produced file into an OutputFile record.
+func HashOutput(path string) (OutputFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return OutputFile{}, fmt.Errorf("obs: hash output: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return OutputFile{}, fmt.Errorf("obs: hash output %s: %w", path, err)
+	}
+	return OutputFile{Path: filepath.Base(path), Bytes: n, SHA256: fmt.Sprintf("%x", h.Sum(nil))}, nil
+}
+
+// WriteManifest validates the manifest against the embedded schema and
+// writes it as <dir>/manifest.json (creating dir if needed). Returning
+// the path keeps callers' log lines honest.
+func WriteManifest(dir string, m Manifest) (string, error) {
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("obs: marshal manifest: %w", err)
+	}
+	if err := ValidateManifest(buf); err != nil {
+		return "", fmt.Errorf("obs: refusing to write invalid manifest: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("obs: create manifest dir: %w", err)
+	}
+	path := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("obs: write manifest: %w", err)
+	}
+	return path, nil
+}
+
+// ReadManifest loads and schema-validates a manifest file.
+func ReadManifest(path string) (Manifest, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, fmt.Errorf("obs: read manifest: %w", err)
+	}
+	if err := ValidateManifest(buf); err != nil {
+		return Manifest{}, fmt.Errorf("obs: manifest %s: %w", path, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return Manifest{}, fmt.Errorf("obs: decode manifest %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// CheckCounters enforces the observability gate on a manifest: every cell
+// must have recorded activity (firings > 0, events > 0) and a measured
+// throughput (events_per_sec > 0). A manifest that passes proves the
+// telemetry layer was live for the run, not silently disabled.
+func (m Manifest) CheckCounters() error {
+	if len(m.Cells) == 0 {
+		return fmt.Errorf("obs: manifest has no cells")
+	}
+	for _, c := range m.Cells {
+		if c.Counters.Firings == 0 {
+			return fmt.Errorf("obs: cell %q recorded zero firings", c.Cell)
+		}
+		if c.Counters.Events == 0 {
+			return fmt.Errorf("obs: cell %q recorded zero events", c.Cell)
+		}
+		if c.Counters.EventsPerSec <= 0 {
+			return fmt.Errorf("obs: cell %q has no events/s measurement", c.Cell)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// manifestSchema is the checked-in JSON schema every manifest must satisfy.
+//
+//go:embed manifest.schema.json
+var manifestSchema []byte
+
+// ValidateManifest checks a serialized manifest against the embedded
+// schema. It returns nil when the document validates; otherwise an error
+// listing every violation with its JSON path.
+func ValidateManifest(doc []byte) error {
+	var schema map[string]any
+	if err := json.Unmarshal(manifestSchema, &schema); err != nil {
+		return fmt.Errorf("obs: embedded manifest schema is broken: %w", err)
+	}
+	var value any
+	dec := json.NewDecoder(strings.NewReader(string(doc)))
+	dec.UseNumber()
+	if err := dec.Decode(&value); err != nil {
+		return fmt.Errorf("obs: manifest is not valid JSON: %w", err)
+	}
+	errs := validate(value, schema, "$")
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("obs: manifest violates schema: %s", strings.Join(errs, "; "))
+}
+
+// validate is a small JSON-Schema-subset validator covering exactly the
+// keywords the manifest schema uses: type, required, properties,
+// additionalProperties (boolean form), items, enum, minimum, minItems.
+// It intentionally implements nothing more — the schema is ours, and a
+// full draft-2020 validator is a dependency this repository does not take.
+func validate(v any, schema map[string]any, path string) []string {
+	var errs []string
+	if t, ok := schema["type"].(string); ok {
+		if !hasType(v, t) {
+			return []string{fmt.Sprintf("%s: got %s, want %s", path, typeName(v), t)}
+		}
+	}
+	if enum, ok := schema["enum"].([]any); ok {
+		match := false
+		for _, e := range enum {
+			if jsonEqual(v, e) {
+				match = true
+				break
+			}
+		}
+		if !match {
+			errs = append(errs, fmt.Sprintf("%s: value not in enum", path))
+		}
+	}
+	if min, ok := numberKeyword(schema, "minimum"); ok {
+		if n, isNum := asFloat(v); isNum && n < min {
+			errs = append(errs, fmt.Sprintf("%s: %v below minimum %v", path, n, min))
+		}
+	}
+	switch val := v.(type) {
+	case map[string]any:
+		if req, ok := schema["required"].([]any); ok {
+			for _, r := range req {
+				name, _ := r.(string)
+				if _, present := val[name]; !present {
+					errs = append(errs, fmt.Sprintf("%s: missing required property %q", path, name))
+				}
+			}
+		}
+		props, _ := schema["properties"].(map[string]any)
+		addl, addlSet := schema["additionalProperties"].(bool)
+		keys := make([]string, 0, len(val))
+		for k := range val {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			sub, known := props[k].(map[string]any)
+			if !known {
+				if addlSet && !addl {
+					errs = append(errs, fmt.Sprintf("%s: unexpected property %q", path, k))
+				}
+				continue
+			}
+			errs = append(errs, validate(val[k], sub, path+"."+k)...)
+		}
+	case []any:
+		if min, ok := numberKeyword(schema, "minItems"); ok && float64(len(val)) < min {
+			errs = append(errs, fmt.Sprintf("%s: %d items, want at least %v", path, len(val), min))
+		}
+		if items, ok := schema["items"].(map[string]any); ok {
+			for i, item := range val {
+				errs = append(errs, validate(item, items, fmt.Sprintf("%s[%d]", path, i))...)
+			}
+		}
+	}
+	return errs
+}
+
+// hasType checks a decoded JSON value against a schema type name.
+func hasType(v any, t string) bool {
+	switch t {
+	case "object":
+		_, ok := v.(map[string]any)
+		return ok
+	case "array":
+		_, ok := v.([]any)
+		return ok
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "boolean":
+		_, ok := v.(bool)
+		return ok
+	case "number":
+		_, ok := asFloat(v)
+		return ok
+	case "integer":
+		n, ok := asFloat(v)
+		return ok && n == math.Trunc(n)
+	case "null":
+		return v == nil
+	}
+	return false
+}
+
+// typeName names a decoded JSON value's type for error messages.
+func typeName(v any) string {
+	switch v.(type) {
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	case string:
+		return "string"
+	case bool:
+		return "boolean"
+	case json.Number, float64:
+		return "number"
+	case nil:
+		return "null"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+// asFloat extracts a numeric value from json.Number or float64.
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	case float64:
+		return n, true
+	}
+	return 0, false
+}
+
+// numberKeyword reads a numeric schema keyword.
+func numberKeyword(schema map[string]any, key string) (float64, bool) {
+	v, ok := schema[key]
+	if !ok {
+		return 0, false
+	}
+	return asFloat(v)
+}
+
+// jsonEqual compares decoded JSON scalars (numbers by value).
+func jsonEqual(a, b any) bool {
+	fa, aok := asFloat(a)
+	fb, bok := asFloat(b)
+	if aok && bok {
+		return fa == fb
+	}
+	return a == b
+}

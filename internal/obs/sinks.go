@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// JSONLSink writes every event as one JSON object per line. It is safe
+// for concurrent use: each Emit marshals outside the lock and performs a
+// single Write under it, so lines from concurrent cells never interleave.
+// Marshal or write errors are sticky and reported by Err; Emit itself
+// never fails (telemetry must not abort an experiment).
+//
+// By default the stream carries no wall-clock timestamps, so the span
+// stream of a seeded run is byte-deterministic up to the elapsed_ns /
+// wall_ns / events_per_sec fields; set Stamp to add an RFC 3339 "ts"
+// field to every line.
+type JSONLSink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	err   error
+	stamp bool
+}
+
+// NewJSONL returns a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// NewJSONLStamped returns a JSONL sink that timestamps every line.
+func NewJSONLStamped(w io.Writer) *JSONLSink { return &JSONLSink{w: w, stamp: true} }
+
+// stampedEvent wraps Event with a wall-clock timestamp.
+type stampedEvent struct {
+	TS time.Time `json:"ts"`
+	Event
+}
+
+// Emit writes one event line.
+func (s *JSONLSink) Emit(e Event) {
+	var (
+		buf []byte
+		err error
+	)
+	if s.stamp {
+		buf, err = json.Marshal(stampedEvent{TS: time.Now().UTC(), Event: e})
+	} else {
+		buf, err = json.Marshal(e)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		if s.err == nil {
+			s.err = fmt.Errorf("obs: marshal event: %w", err)
+		}
+		return
+	}
+	if s.err != nil {
+		return
+	}
+	if _, err := s.w.Write(append(buf, '\n')); err != nil {
+		s.err = fmt.Errorf("obs: write event: %w", err)
+	}
+}
+
+// Err returns the first marshal or write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// HumanSink renders progress lines for a terminal: one line per completed
+// grid cell (cell.end), optionally every span event with Verbose. All
+// output goes through a mutex-guarded, carriage-return-safe line writer —
+// each line is emitted as a single Write beginning at column zero — so
+// concurrent grid workers cannot interleave partial lines, the defect the
+// old per-cell Progress callback plumbing had.
+type HumanSink struct {
+	mu sync.Mutex
+	w  io.Writer
+	// Verbose renders sim.batch / sim.stop spans too.
+	Verbose bool
+	// CR, when set, prefixes every line with a carriage return so a
+	// partially written spinner or status line on the same terminal is
+	// overwritten instead of appended to.
+	CR bool
+}
+
+// NewHuman returns a human-readable progress sink writing to w.
+func NewHuman(w io.Writer) *HumanSink { return &HumanSink{w: w} }
+
+// Emit renders one event, if its kind is shown at the current verbosity.
+func (h *HumanSink) Emit(e Event) {
+	var line string
+	switch e.Kind {
+	case KindCellEnd:
+		status := "converged"
+		if !e.Converged {
+			status = "budget exhausted"
+		}
+		line = fmt.Sprintf("cell %-45s %3d reps, %s, %s", e.Cell, e.Reps, status,
+			time.Duration(e.ElapsedNS).Round(time.Millisecond))
+		if c := e.Counters; c != nil && c.EventsPerSec > 0 {
+			line += fmt.Sprintf(", %.3gM events/s", c.EventsPerSec/1e6)
+		}
+	case KindBatch:
+		if !h.Verbose {
+			return
+		}
+		line = fmt.Sprintf("  %s batch %d: %d reps done", e.Cell, e.Batch, e.Reps)
+	case KindStop:
+		if !h.Verbose {
+			return
+		}
+		worst := 0.0
+		for _, w := range e.Widths {
+			if w > worst {
+				worst = w
+			}
+		}
+		line = fmt.Sprintf("  %s stop-check at %d reps: converged=%v, worst rel half-width %.3g",
+			e.Cell, e.Reps, e.Converged, worst)
+	default:
+		if !h.Verbose {
+			return
+		}
+		line = fmt.Sprintf("  %s %s", e.Kind, e.Cell)
+	}
+	h.writeLine(line)
+}
+
+// writeLine writes one full line atomically.
+func (h *HumanSink) writeLine(line string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.CR {
+		line = "\r" + line
+	}
+	io.WriteString(h.w, line+"\n")
+}
+
+// Collector accumulates cell.end events into manifest cell entries, in
+// completion order. It is safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	cells []ManifestCell
+}
+
+// Emit records cell.end events; other kinds are ignored.
+func (c *Collector) Emit(e Event) {
+	if e.Kind != KindCellEnd {
+		return
+	}
+	cell := ManifestCell{
+		Cell:         e.Cell,
+		Replications: e.Reps,
+		Converged:    e.Converged,
+		ElapsedNS:    e.ElapsedNS,
+	}
+	if e.Counters != nil {
+		cell.Counters = *e.Counters
+	}
+	c.mu.Lock()
+	c.cells = append(c.cells, cell)
+	c.mu.Unlock()
+}
+
+// Cells returns the collected manifest cells in completion order.
+func (c *Collector) Cells() []ManifestCell {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ManifestCell(nil), c.cells...)
+}

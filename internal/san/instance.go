@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"vcpusim/internal/des"
 	"vcpusim/internal/rng"
@@ -52,6 +53,18 @@ type Instance struct {
 	impulses []float64
 	firings  uint64
 	failed   error
+
+	// Engine counters (see Stats): always-on plain increments, reset with
+	// the rest of the per-replication state. actFirings is nil unless
+	// EnableActivityStats was called; clock is nil unless SetClock
+	// injected one (only obs code reads the wall clock directly).
+	instFirings uint64
+	aborts      uint64
+	stabIters   uint64
+	stabMax     uint64
+	wallTime    time.Duration
+	actFirings  []uint64
+	clock       func() time.Duration
 	// failFn is in.fail bound once at construction: binding a method
 	// value allocates, and Reset must not.
 	failFn func(error)
@@ -160,6 +173,15 @@ func (in *Instance) Reset(seed uint64) {
 	in.ready = true
 	in.tracking = false
 
+	in.instFirings = 0
+	in.aborts = 0
+	in.stabIters = 0
+	in.stabMax = 0
+	in.wallTime = 0
+	for i := range in.actFirings {
+		in.actFirings[i] = 0
+	}
+
 	// Everything is a candidate for the initial stabilization/activation,
 	// and every rate reward is evaluated at the first observation.
 	in.candTimed.zero()
@@ -249,6 +271,10 @@ func (in *Instance) RunIntervalContext(ctx context.Context, warmup, horizon floa
 	in.ready = false
 	in.warmup = warmup
 	in.warmSnapped = warmup == 0
+	if in.clock != nil {
+		start := in.clock()
+		defer func() { in.wallTime += in.clock() - start }()
+	}
 	// Initial stabilization and activation.
 	if err := in.stabilize(); err != nil {
 		return Results{}, err
@@ -410,6 +436,10 @@ func (in *Instance) stabilize() error {
 			in.candInst.clear(i)
 			if ap.act.enabled() {
 				in.fire(ap)
+				in.instFirings++
+				if in.actFirings != nil {
+					in.actFirings[len(in.timed)+i]++
+				}
 				// The firing may have left the activity enabled (its own
 				// reads untouched): keep it a candidate so the restarted
 				// scan re-examines it, as a full scan would.
@@ -419,11 +449,23 @@ func (in *Instance) stabilize() error {
 			}
 		}
 		if in.failed != nil {
+			in.noteStabDepth(n)
 			return in.failed
 		}
 		if !fired {
+			// n iterations ran, each but this one firing exactly once.
+			in.noteStabDepth(n)
 			return nil
 		}
+	}
+}
+
+// noteStabDepth records one stabilization's firing count.
+func (in *Instance) noteStabDepth(n int) {
+	d := uint64(n)
+	in.stabIters += d
+	if d > in.stabMax {
+		in.stabMax = d
 	}
 }
 
@@ -454,6 +496,7 @@ func (in *Instance) refresh() {
 			}
 		case !enabled && scheduled:
 			in.kernel.Cancel(ev)
+			in.aborts++
 		}
 	}
 }
@@ -462,6 +505,9 @@ func (in *Instance) refresh() {
 func (in *Instance) complete(i int) {
 	ap := in.timed[i]
 	in.fire(ap)
+	if in.actFirings != nil {
+		in.actFirings[i]++
+	}
 	// The completed activity is unscheduled and possibly still enabled:
 	// reconsider it regardless of what the firing touched.
 	in.candTimed.set(i)

@@ -1,0 +1,98 @@
+package san
+
+import "time"
+
+// Stats is one replication's engine-counter snapshot, reset by
+// Instance.Reset and read with Instance.Stats after (or during) a run.
+// The counters are always on — each is a plain integer increment on the
+// instance's own cache lines, cheap enough that the event loop stays
+// allocation-free and within the telemetry layer's overhead budget — but
+// wall-time and per-activity counts are opt-in (SetClock,
+// EnableActivityStats) so the default path touches nothing extra.
+type Stats struct {
+	// TimedFirings / InstFirings split the activity completions by kind;
+	// their sum equals Results.Firings.
+	TimedFirings uint64
+	InstFirings  uint64
+	// Aborts counts timed activations cancelled by a disabling marking
+	// change (the race-enabled policy's abort path). Every abort is also
+	// one kernel cancellation; the kernel counter additionally includes
+	// halts.
+	Aborts uint64
+	// StabilizeIters is the total number of instantaneous firings summed
+	// over all stabilizations; MaxStabilizeDepth is the largest number of
+	// firings any single stabilization needed. Depth approaching the
+	// livelock cap is the canonical sign of a mis-modeled gate.
+	StabilizeIters    uint64
+	MaxStabilizeDepth uint64
+	// Kernel counters: events fired, event-list insertions, cancellations.
+	EventsFired     uint64
+	EventsScheduled uint64
+	EventsCancelled uint64
+	// WallTime is the measured event-loop wall time; zero unless a clock
+	// was injected with SetClock (simulation code must not read the wall
+	// clock itself — see internal/golint).
+	WallTime time.Duration
+	// ActivityFirings counts completions per activity, indexed like
+	// Program.ActivityNames; nil unless EnableActivityStats was called.
+	ActivityFirings []uint64
+}
+
+// EventsPerSec is the kernel event throughput; zero without a clock.
+func (s Stats) EventsPerSec() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return float64(s.EventsFired) / s.WallTime.Seconds()
+}
+
+// SetClock injects a monotonic wall-clock (obs.Clock) used only to
+// measure Stats.WallTime around the run loop; pass nil to disable. The
+// clock is read twice per replication, never per event, and an instance
+// without a clock performs no time measurement at all.
+func (in *Instance) SetClock(fn func() time.Duration) { in.clock = fn }
+
+// EnableActivityStats allocates the per-activity firing counters (one
+// uint64 per activity, indexed like Program.ActivityNames). Must be
+// called before Reset; the counters then persist — zeroed by Reset, never
+// reallocated — for the instance's lifetime.
+func (in *Instance) EnableActivityStats() {
+	if in.actFirings == nil {
+		in.actFirings = make([]uint64, len(in.timed)+len(in.instants))
+	}
+}
+
+// Stats snapshots the engine counters accumulated since the last Reset.
+// The ActivityFirings slice is copied, so the snapshot stays stable if
+// the instance runs again.
+func (in *Instance) Stats() Stats {
+	s := Stats{
+		TimedFirings:      in.firings - in.instFirings,
+		InstFirings:       in.instFirings,
+		Aborts:            in.aborts,
+		StabilizeIters:    in.stabIters,
+		MaxStabilizeDepth: in.stabMax,
+		EventsFired:       in.kernel.Fired(),
+		EventsScheduled:   in.kernel.Scheduled(),
+		EventsCancelled:   in.kernel.Cancelled(),
+		WallTime:          in.wallTime,
+	}
+	if in.actFirings != nil {
+		s.ActivityFirings = append([]uint64(nil), in.actFirings...)
+	}
+	return s
+}
+
+// ActivityNames returns the compiled activity names in Stats index order:
+// timed activities in definition order, then instantaneous activities in
+// (priority, definition) firing order.
+func (p *Program) ActivityNames() []string {
+	names := make([]string, 0, len(p.timed)+len(p.instants))
+	for _, ap := range p.timed {
+		names = append(names, ap.act.name)
+	}
+	for _, ap := range p.instants {
+		names = append(names, ap.act.name)
+	}
+	return names
+}

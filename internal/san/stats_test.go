@@ -1,0 +1,153 @@
+package san
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInstanceStatsConsistency checks the counter invariants one
+// replication must satisfy, and that Reset rearms them.
+func TestInstanceStatsConsistency(t *testing.T) {
+	prog, err := Compile(buildTandem(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Reset(7)
+	res, err := inst.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inst.Stats()
+	if s.TimedFirings+s.InstFirings != res.Firings {
+		t.Errorf("timed %d + inst %d != firings %d", s.TimedFirings, s.InstFirings, res.Firings)
+	}
+	if s.EventsFired != res.Events {
+		t.Errorf("stats events %d != results events %d", s.EventsFired, res.Events)
+	}
+	if s.EventsFired == 0 || s.TimedFirings == 0 {
+		t.Errorf("no activity recorded: %+v", s)
+	}
+	if s.EventsScheduled < s.EventsFired {
+		t.Errorf("scheduled %d < fired %d", s.EventsScheduled, s.EventsFired)
+	}
+	if s.WallTime != 0 || s.EventsPerSec() != 0 {
+		t.Errorf("wall time measured without a clock: %+v", s)
+	}
+	if s.ActivityFirings != nil {
+		t.Error("activity stats on without EnableActivityStats")
+	}
+	inst.Reset(7)
+	if z := inst.Stats(); z.TimedFirings != 0 || z.EventsFired != 0 || z.StabilizeIters != 0 {
+		t.Errorf("Reset left stale counters: %+v", z)
+	}
+}
+
+// TestActivityStats verifies the opt-in per-activity counters sum to the
+// total firing count and line up with Program.ActivityNames.
+func TestActivityStats(t *testing.T) {
+	prog, err := Compile(buildTandem(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.EnableActivityStats()
+	inst.Reset(11)
+	res, err := inst.Run(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inst.Stats()
+	names := prog.ActivityNames()
+	if len(s.ActivityFirings) != len(names) {
+		t.Fatalf("%d activity counters, %d names", len(s.ActivityFirings), len(names))
+	}
+	var sum uint64
+	for _, n := range s.ActivityFirings {
+		sum += n
+	}
+	if sum != res.Firings {
+		t.Errorf("per-activity sum %d != total firings %d", sum, res.Firings)
+	}
+	// The snapshot is a copy: a second run must not mutate it.
+	inst.Reset(12)
+	if _, err := inst.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	var sum2 uint64
+	for _, n := range s.ActivityFirings {
+		sum2 += n
+	}
+	if sum2 != sum {
+		t.Error("Stats snapshot aliased the live counters")
+	}
+}
+
+// TestStatsClock injects a deterministic fake clock and checks wall time
+// and throughput derive from it.
+func TestStatsClock(t *testing.T) {
+	prog, err := Compile(buildTandem(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now time.Duration
+	inst.SetClock(func() time.Duration {
+		now += 50 * time.Millisecond
+		return now
+	})
+	inst.Reset(3)
+	if _, err := inst.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	s := inst.Stats()
+	if s.WallTime != 50*time.Millisecond {
+		t.Fatalf("wall time = %v, want 50ms (one clock interval)", s.WallTime)
+	}
+	if s.EventsPerSec() != float64(s.EventsFired)/0.05 {
+		t.Errorf("events/s = %g", s.EventsPerSec())
+	}
+}
+
+// TestStatsTelemetryAllocFree pins the zero-cost contract: the always-on
+// counters, an injected clock, and pre-allocated per-activity stats add
+// zero allocations to Reset, and Reset+Run stays within the existing
+// results-map budget.
+func TestStatsTelemetryAllocFree(t *testing.T) {
+	prog, err := Compile(buildTandem(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.EnableActivityStats()
+	inst.SetClock(func() time.Duration { return 0 })
+	seed := uint64(0)
+	if allocs := testing.AllocsPerRun(100, func() {
+		seed++
+		inst.Reset(seed)
+	}); allocs != 0 {
+		t.Errorf("Reset with telemetry on allocated %.1f times per call, want 0", allocs)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		seed++
+		inst.Reset(seed)
+		if _, err := inst.Run(200); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 16 {
+		t.Errorf("Reset+Run with telemetry on allocated %.1f times per replication, want results maps only", allocs)
+	}
+}

@@ -10,10 +10,12 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 
+	"vcpusim/internal/obs"
 	"vcpusim/internal/rng"
 	"vcpusim/internal/stats"
 )
@@ -54,6 +56,11 @@ type Options struct {
 	// StopMetrics lists the metrics whose CIs gate stopping; empty means
 	// every observed metric.
 	StopMetrics []string
+	// Sink, when non-nil, receives span events from the replication
+	// controller: one sim.batch event per completed batch and one
+	// sim.stop event per stopping-rule check (with the current relative
+	// CI half-widths). Nil costs nothing — no event is constructed.
+	Sink obs.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -186,6 +193,7 @@ func RunPooled(ctx context.Context, factory ReplicatorFactory, opts Options) (Su
 
 	acc := make(map[string]*stats.Welford)
 	done := 0
+	batches := 0
 	converged := false
 
 	for done < opts.MaxReps && !converged {
@@ -219,8 +227,18 @@ func RunPooled(ctx context.Context, factory ReplicatorFactory, opts Options) (Su
 			}
 		}
 		done += batch
+		batches++
+		if opts.Sink != nil {
+			opts.Sink.Emit(obs.Event{Kind: obs.KindBatch, Batch: batches, Size: batch, Reps: done})
+		}
 		if done >= opts.MinReps {
 			converged = convergedAll(acc, opts)
+			if opts.Sink != nil {
+				opts.Sink.Emit(obs.Event{
+					Kind: obs.KindStop, Reps: done, Converged: converged,
+					Widths: relWidths(acc, opts.Level),
+				})
+			}
 		}
 	}
 
@@ -300,6 +318,21 @@ func BatchMeans(batches []map[string]float64, level float64) (Summary, error) {
 		out.Metrics[name] = w.CI(level)
 	}
 	return out, nil
+}
+
+// relWidths snapshots every metric's relative CI half-width for a
+// sim.stop span. Non-finite widths (zero means) are omitted: they cannot
+// be represented in JSON and carry no stopping information.
+func relWidths(acc map[string]*stats.Welford, level float64) map[string]float64 {
+	out := make(map[string]float64, len(acc))
+	for name, w := range acc {
+		rw := w.CI(level).RelHalfWidth()
+		if math.IsNaN(rw) || math.IsInf(rw, 0) {
+			continue
+		}
+		out[name] = rw
+	}
+	return out
 }
 
 // convergedAll reports whether every tracked metric meets the CI target.

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+
+	"vcpusim/internal/obs"
+)
+
+// Obs span kinds for scheduling trace events, namespaced so a merged
+// JSONL stream can interleave them with the experiment grid's cell.* and
+// sim.* spans.
+const (
+	ObsKindScheduleIn  = "trace.schedule_in"
+	ObsKindScheduleOut = "trace.schedule_out"
+	ObsKindJobComplete = "trace.job_complete"
+)
+
+// ObsTracer adapts an obs.Sink into a fastsim.Tracer, so a single
+// telemetry stream can carry scheduling transitions alongside the
+// experiment spans. Each trace event becomes one obs.Event whose Kind is
+// the namespaced trace kind and whose Attrs is the Event itself; Cell,
+// when set, stamps every span (useful when several engines trace into
+// one stream). A nil Sink drops everything, preserving the
+// nil-means-off convention.
+type ObsTracer struct {
+	Sink obs.Sink
+	Cell string
+}
+
+// ScheduleIn forwards a PCPU grant.
+func (t *ObsTracer) ScheduleIn(now int64, vcpu, pcpu int) {
+	t.emit(ObsKindScheduleIn, Event{Time: now, Kind: KindScheduleIn, VCPU: vcpu, PCPU: pcpu})
+}
+
+// ScheduleOut forwards a PCPU revocation.
+func (t *ObsTracer) ScheduleOut(now int64, vcpu, pcpu int, expired bool) {
+	t.emit(ObsKindScheduleOut, Event{Time: now, Kind: KindScheduleOut, VCPU: vcpu, PCPU: pcpu, Expired: expired})
+}
+
+// JobComplete forwards a workload completion.
+func (t *ObsTracer) JobComplete(now int64, vcpu int, sync bool) {
+	t.emit(ObsKindJobComplete, Event{Time: now, Kind: KindJobComplete, VCPU: vcpu, Sync: sync})
+}
+
+func (t *ObsTracer) emit(kind string, e Event) {
+	if t.Sink == nil {
+		return
+	}
+	t.Sink.Emit(obs.Event{Kind: kind, Cell: t.Cell, Attrs: e})
+}
+
+// FromObs reconstructs the scheduling trace event carried by a trace.*
+// span, reporting ok=false for spans of any other kind or with
+// unusable attrs. It accepts both in-process spans (Attrs is an Event)
+// and spans decoded from JSONL (Attrs is a generic map), so a trace
+// written through the obs stream round-trips into the same Events the
+// Recorder would have collected.
+func FromObs(oe obs.Event) (Event, bool) {
+	switch oe.Kind {
+	case ObsKindScheduleIn, ObsKindScheduleOut, ObsKindJobComplete:
+	default:
+		return Event{}, false
+	}
+	switch a := oe.Attrs.(type) {
+	case Event:
+		return a, true
+	case *Event:
+		return *a, true
+	default:
+		b, err := json.Marshal(a)
+		if err != nil {
+			return Event{}, false
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return Event{}, false
+		}
+		return e, true
+	}
+}

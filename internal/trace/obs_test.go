@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vcpusim/internal/obs"
+)
+
+// driveTracer replays sampleRecorder's call sequence into any tracer.
+func driveTracer(tr interface {
+	ScheduleIn(now int64, vcpu, pcpu int)
+	ScheduleOut(now int64, vcpu, pcpu int, expired bool)
+	JobComplete(now int64, vcpu int, sync bool)
+}) {
+	tr.ScheduleIn(0, 1, 0)
+	tr.ScheduleIn(0, 2, 1)
+	tr.JobComplete(5, 1, false)
+	tr.ScheduleOut(10, 1, 0, true)
+	tr.ScheduleIn(10, 3, 0)
+	tr.JobComplete(12, 3, true)
+	tr.ScheduleOut(20, 3, 0, false)
+}
+
+// TestObsTracerRoundTrip writes scheduling events through the obs JSONL
+// stream and reconstructs them: the result must equal what the Recorder
+// collects from the same call sequence.
+func TestObsTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	driveTracer(&ObsTracer{Sink: sink, Cell: "roundtrip"})
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := sampleRecorder().Events()
+
+	var got []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var oe obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &oe); err != nil {
+			t.Fatalf("decode span: %v", err)
+		}
+		if oe.Cell != "roundtrip" {
+			t.Fatalf("span lost its cell stamp: %+v", oe)
+		}
+		if !strings.HasPrefix(oe.Kind, "trace.") {
+			t.Fatalf("unexpected span kind %q", oe.Kind)
+		}
+		e, ok := FromObs(oe)
+		if !ok {
+			t.Fatalf("span %+v did not convert", oe)
+		}
+		got = append(got, e)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestObsTracerInProcess verifies FromObs on spans that never left the
+// process (Attrs still a concrete Event), and that non-trace spans are
+// rejected.
+func TestObsTracerInProcess(t *testing.T) {
+	var spans []obs.Event
+	sink := sinkFunc(func(e obs.Event) { spans = append(spans, e) })
+	driveTracer(&ObsTracer{Sink: sink})
+	want := sampleRecorder().Events()
+	if len(spans) != len(want) {
+		t.Fatalf("%d spans, want %d", len(spans), len(want))
+	}
+	for i, oe := range spans {
+		e, ok := FromObs(oe)
+		if !ok || e != want[i] {
+			t.Fatalf("span %d: got (%+v, %v), want %+v", i, e, ok, want[i])
+		}
+	}
+	if _, ok := FromObs(obs.Event{Kind: obs.KindCellEnd}); ok {
+		t.Fatal("cell.end span converted to a trace event")
+	}
+}
+
+// TestObsTracerNilSink verifies the nil-means-off convention.
+func TestObsTracerNilSink(t *testing.T) {
+	driveTracer(&ObsTracer{}) // must not panic
+}
+
+type sinkFunc func(obs.Event)
+
+func (f sinkFunc) Emit(e obs.Event) { f(e) }

@@ -31,6 +31,12 @@ go test -race ./internal/...
 echo "== pooled-determinism gate (goldens + pooled/fresh equivalence, uncached)"
 go test -run 'Golden|PooledEquivalence' -count=1 ./internal/core ./internal/san ./internal/experiments
 
+echo "== observability gate (manifest write + schema/counter validation)"
+obsdir=$(mktemp -d)
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/vcpusim experiments -figure 8 -quick -manifest "$obsdir" >/dev/null
+go run ./cmd/vcpusim manifest -check "$obsdir/manifest.json"
+
 echo "== bench smoke (./bench.sh smoke)"
 ./bench.sh smoke
 
