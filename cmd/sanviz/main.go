@@ -9,6 +9,7 @@
 //	sanviz -config experiment.json > model.dot
 //	sanviz -vms 2,1,1 -pcpus 4 | dot -Tsvg > model.svg
 //	sanviz -vms 2,2 -joins        # list join places (paper Tables 1-2)
+//	sanviz -vms 2,1 -pcpus 2 -faults plan.json > faulty.dot
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"vcpusim/internal/config"
 	"vcpusim/internal/core"
+	"vcpusim/internal/faults"
 	"vcpusim/internal/rng"
 	"vcpusim/internal/sched"
 	"vcpusim/internal/workload"
@@ -40,6 +42,7 @@ func run(args []string, out io.Writer) error {
 		vms        = fs.String("vms", "", `comma-separated VCPU counts per VM, e.g. "2,1,1" (alternative to -config)`)
 		pcpus      = fs.Int("pcpus", 4, "number of PCPUs (with -vms)")
 		joins      = fs.Bool("joins", false, "list join places and their sharing sub-models instead of DOT")
+		faultsPath = fs.String("faults", "", "JSON fault-injection plan to compose into the model")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +78,18 @@ func run(args []string, out io.Writer) error {
 		}
 	default:
 		return fmt.Errorf("one of -config or -vms is required")
+	}
+	if *faultsPath != "" {
+		f, err := os.Open(*faultsPath)
+		if err != nil {
+			return err
+		}
+		plan, err := faults.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
 	}
 
 	sys, err := core.BuildSystem(cfg, sched.NewRoundRobin(cfg.Timeslice), rng.New(1))

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"strings"
 	"testing"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden DOT fixtures")
 
 func TestRunRequiresInput(t *testing.T) {
 	if err := run(nil, os.Stderr); err == nil {
@@ -50,6 +53,41 @@ func TestRunFromConfigFile(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "VM3.VCPU1") {
 		t.Errorf("config-driven DOT missing VM3:\n%s", b.String())
+	}
+}
+
+// TestRunFaultDotGolden pins the DOT rendering of a fault-augmented
+// model: the Faults sub-model with its marker places, armed counters, and
+// Inject_/Recover_ activities must appear alongside the healthy structure.
+// Regenerate with `go test ./cmd/sanviz -run FaultDot -update`.
+func TestRunFaultDotGolden(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-vms", "2,1", "-pcpus", "2", "-faults", "testdata/faultplan.json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/fault_model.dot"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("fault-augmented DOT drifted from %s (rerun with -update if intended)", golden)
+	}
+	for _, frag := range []string{"Faults", "Down_PCPU1", "Inject_crash1", "Recover_crash1", "Armed_storm", "Stalled_VCPU0"} {
+		if !strings.Contains(b.String(), frag) {
+			t.Errorf("fault DOT missing %q", frag)
+		}
+	}
+}
+
+func TestRunBadFaultsFlag(t *testing.T) {
+	if err := run([]string{"-vms", "2,1", "-faults", "testdata/nope.json"}, os.Stderr); err == nil {
+		t.Fatal("missing fault plan accepted")
 	}
 }
 

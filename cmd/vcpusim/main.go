@@ -7,6 +7,7 @@
 //	vcpusim -config experiment.json
 //	vcpusim -config experiment.json -single -trace trace.jsonl -gantt
 //	vcpusim -config experiment.json -single -stats
+//	vcpusim -config experiment.json -single -faults plan.json
 //	vcpusim vet -config experiment.json
 //	vcpusim experiments -figure 8 -quick -manifest out/
 //	vcpusim manifest -check out/manifest.json
@@ -33,6 +34,7 @@ import (
 	"vcpusim/internal/core"
 	"vcpusim/internal/expcli"
 	"vcpusim/internal/fastsim"
+	"vcpusim/internal/faults"
 	"vcpusim/internal/obs"
 	"vcpusim/internal/san"
 	"vcpusim/internal/sim"
@@ -65,6 +67,7 @@ func run(args []string, out io.Writer) (err error) {
 		tracePath  = fs.String("trace", "", "with -single: write the schedule-event trace as JSONL to this path")
 		gantt      = fs.Bool("gantt", false, "with -single: print a text Gantt chart of PCPU occupancy")
 		showStats  = fs.Bool("stats", false, "with -single: print engine counters (events, firings, stabilization depth, events/s)")
+		faultsPath = fs.String("faults", "", "path to a JSON fault-injection plan (SAN engine only)")
 	)
 	var prof obs.Profiles
 	prof.Register(fs)
@@ -96,6 +99,24 @@ func run(args []string, out io.Writer) (err error) {
 	cfg, err := exp.SystemConfig()
 	if err != nil {
 		return err
+	}
+	if *faultsPath != "" {
+		if exp.Engine != "san" {
+			return fmt.Errorf("-faults requires the SAN engine (set \"engine\": \"san\" in the config)")
+		}
+		pf, err := os.Open(*faultsPath)
+		if err != nil {
+			return err
+		}
+		plan, err := faults.Parse(pf)
+		pf.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
 	}
 	factory, err := exp.SchedulerFactory()
 	if err != nil {

@@ -1,0 +1,70 @@
+// Fault-injection campaign: dependability evaluation on the SAN engine.
+// One of two physical CPUs fail-stops mid-run — its VCPU is evicted and
+// the progress of the in-flight workload is destroyed — and restarts
+// 4000 ticks later. The example compares how Strict Co-Scheduling (gang
+// re-seating: all siblings or none) and Relaxed Co-Scheduling ride
+// through the outage, printing overall availability, availability while
+// degraded, the work destroyed by the crash, and the scheduler's recovery
+// behaviour after the restart.
+//
+// Fault campaigns are deterministic: every injection and recovery time is
+// drawn from the replication's seeded RNG, so a same-seed rerun replays
+// the outage bit-for-bit. The same plan can be loaded from JSON with
+// vcpusim.ParseFaultPlan (see `vcpusim -single -faults plan.json`).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcpusim"
+)
+
+func main() {
+	cfg := vcpusim.SystemConfig{
+		PCPUs:     2,
+		Timeslice: 30,
+		VMs: []vcpusim.VMConfig{
+			{Name: "mpi", VCPUs: 2, Workload: vcpusim.WorkloadSpec{
+				Load: vcpusim.Uniform{Low: 1, High: 10}, SyncEveryN: 5}},
+			{Name: "web", VCPUs: 1, Workload: vcpusim.WorkloadSpec{
+				Load: vcpusim.Uniform{Low: 1, High: 10}, SyncEveryN: 5}},
+			{Name: "db", VCPUs: 1, Workload: vcpusim.WorkloadSpec{
+				Load: vcpusim.Uniform{Low: 1, High: 10}, SyncEveryN: 5}},
+		},
+		// The campaign: PCPU 1 crashes at tick 6000 and restarts at 10000.
+		Faults: &vcpusim.FaultPlan{Faults: []vcpusim.FaultSpec{{
+			Name:     "crash1",
+			Kind:     vcpusim.FaultPCPUCrash,
+			PCPU:     1,
+			At:       6000,
+			Duration: &vcpusim.FaultDist{Dist: "deterministic", Value: 4000},
+		}}},
+	}
+	const horizon, seed = 20000, 1
+
+	algorithms := []struct {
+		name    string
+		factory vcpusim.SchedulerFactory
+	}{
+		{"Strict Co-Scheduling (SCS)", vcpusim.StrictCo(cfg.Timeslice)},
+		{"Relaxed Co-Scheduling (RCS)", vcpusim.RelaxedCo(vcpusim.RelaxedCoParams{Timeslice: cfg.Timeslice})},
+	}
+
+	fmt.Printf("PCPU 1 fail-stop at tick 6000, restart at 10000 (of %d)\n\n", horizon)
+	for _, algo := range algorithms {
+		// Fault plans perturb the SAN executive, so this runs on the SAN
+		// engine; without a plan the same call matches the fast engine
+		// bit for bit.
+		m, err := vcpusim.RunSAN(cfg, algo.factory, horizon, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", algo.name)
+		fmt.Printf("  availability (overall)     %.4f\n", m[vcpusim.AvailabilityAvgMetric])
+		fmt.Printf("  availability while down    %.4f\n", m[vcpusim.FaultAvailUnderFaultsMetric])
+		fmt.Printf("  degraded fraction          %.4f\n", m[vcpusim.FaultDegradedMetric])
+		fmt.Printf("  work lost to the crash     %.0f ticks\n", m[vcpusim.FaultWorkLostMetric])
+		fmt.Printf("  recovery after restart     %.1f ticks (mean to first re-seat)\n\n", m[vcpusim.FaultMTTRMetric])
+	}
+}

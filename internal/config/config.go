@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"vcpusim/internal/core"
+	"vcpusim/internal/faults"
 	"vcpusim/internal/rng"
 	"vcpusim/internal/sched"
 	"vcpusim/internal/sim"
@@ -148,6 +149,8 @@ type Experiment struct {
 	// Engine is "fast" (default) or "san".
 	Engine       string       `json:"engine,omitempty"`
 	Replications Replications `json:"replications,omitempty"`
+	// Faults is an optional fault-injection campaign (SAN engine only).
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // Parse reads and validates an Experiment from JSON.
@@ -170,6 +173,9 @@ func Parse(r io.Reader) (*Experiment, error) {
 	if e.Engine != "fast" && e.Engine != "san" {
 		return nil, fmt.Errorf("config: engine must be \"fast\" or \"san\", got %q", e.Engine)
 	}
+	if e.Faults != nil && e.Engine != "san" {
+		return nil, fmt.Errorf("config: fault plans perturb the SAN executive; set \"engine\": \"san\"")
+	}
 	if _, err := e.SystemConfig(); err != nil {
 		return nil, err
 	}
@@ -181,7 +187,7 @@ func Parse(r io.Reader) (*Experiment, error) {
 
 // SystemConfig builds the core configuration.
 func (e *Experiment) SystemConfig() (core.SystemConfig, error) {
-	cfg := core.SystemConfig{PCPUs: e.PCPUs, Timeslice: e.Timeslice}
+	cfg := core.SystemConfig{PCPUs: e.PCPUs, Timeslice: e.Timeslice, Faults: e.Faults}
 	for i, vm := range e.VMs {
 		dist, err := vm.Load.Build()
 		if err != nil {

@@ -75,6 +75,8 @@ func TestParseErrors(t *testing.T) {
 		{"no vms", `{"pcpus":1,"timeslice":10,"scheduler":{"name":"RRS"},"vms":[]}`},
 		{"bad dist", `{"pcpus":1,"timeslice":10,"scheduler":{"name":"RRS"},"vms":[{"vcpus":1,"load":{"dist":"weird"}}]}`},
 		{"zero timeslice", `{"pcpus":1,"timeslice":0,"scheduler":{"name":"RRS"},"vms":[{"vcpus":1,"load":{"dist":"deterministic","value":3}}]}`},
+		{"faults on fast engine", `{"pcpus":1,"timeslice":10,"scheduler":{"name":"RRS"},"vms":[{"vcpus":1,"load":{"dist":"deterministic","value":3}}],"faults":[{"name":"c","kind":"pcpu_crash","pcpu":0,"at":100}]}`},
+		{"invalid fault plan", `{"pcpus":1,"timeslice":10,"engine":"san","scheduler":{"name":"RRS"},"vms":[{"vcpus":1,"load":{"dist":"deterministic","value":3}}],"faults":[{"name":"c","kind":"pcpu_crash","pcpu":9,"at":100}]}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,6 +84,29 @@ func TestParseErrors(t *testing.T) {
 				t.Fatal("expected error")
 			}
 		})
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	exp, err := Parse(strings.NewReader(`{
+	  "pcpus": 2, "timeslice": 30, "engine": "san",
+	  "scheduler": {"name": "SCS"},
+	  "vms": [{"vcpus": 2, "load": {"dist": "uniform", "low": 1, "high": 10}, "syncEveryN": 5}],
+	  "faults": [{"name": "crash1", "kind": "pcpu_crash", "pcpu": 1, "at": 500,
+	              "duration": {"dist": "deterministic", "value": 200}}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Faults == nil || len(exp.Faults.Faults) != 1 {
+		t.Fatalf("faults = %+v", exp.Faults)
+	}
+	cfg, err := exp.SystemConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults != exp.Faults {
+		t.Error("SystemConfig did not thread the fault plan through")
 	}
 }
 

@@ -1,0 +1,44 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig asserts experiment parsing never panics and that every
+// accepted experiment yields a buildable system configuration and
+// scheduler factory — Parse's own postconditions, so a crash or violation
+// here is a real bug, not fuzz noise.
+func FuzzParseConfig(f *testing.F) {
+	f.Add(validJSON)
+	f.Add(`{"pcpus": 1, "timeslice": 10, "scheduler": {"name": "RRS"},
+		"vms": [{"vcpus": 1, "load": {"dist": "deterministic", "value": 3}}]}`)
+	f.Add(`{"pcpus": 2, "timeslice": 30, "engine": "san",
+		"scheduler": {"name": "SCS"},
+		"vms": [{"vcpus": 2, "load": {"dist": "uniform", "low": 1, "high": 10}, "syncEveryN": 5}],
+		"faults": [{"name": "c", "kind": "pcpu_crash", "pcpu": 0, "at": 100,
+			"duration": {"dist": "deterministic", "value": 50}}]}`)
+	f.Add(`{"pcpus": 2, "timeslice": 30,
+		"scheduler": {"name": "Credit", "weights": {"0": 2, "1": 1}},
+		"vms": [{"vcpus": 1, "load": {"dist": "empirical", "values": [1, 2], "weights": [0.5, 0.5]},
+			"syncKind": "spinlock", "syncProbabilistic": true, "syncEveryN": 3},
+		       {"vcpus": 1, "load": {"dist": "lognormal", "mu": 1, "sigma": 0.5}}]}`)
+	f.Add(`{"pcpus": 0}`)
+	f.Add(`{"pcpus": 1e99, "timeslice": -1}`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, data string) {
+		exp, err := Parse(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := exp.SystemConfig(); err != nil {
+			t.Errorf("accepted experiment has unbuildable system config: %v", err)
+		}
+		if _, err := exp.SchedulerFactory(); err != nil {
+			t.Errorf("accepted experiment has unbuildable scheduler: %v", err)
+		}
+		if exp.Faults != nil && exp.Engine != "san" {
+			t.Error("accepted a fault plan outside the SAN engine")
+		}
+	})
+}

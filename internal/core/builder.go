@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"vcpusim/internal/faults"
 	"vcpusim/internal/rng"
 	"vcpusim/internal/san"
 	"vcpusim/internal/workload"
@@ -28,6 +29,11 @@ const (
 type Slot struct {
 	// RemainingLoad is the remaining time to complete the current load.
 	RemainingLoad int64
+	// Done is the progress made on the current workload since dispatch,
+	// in ticks. A PCPU fail-stop fault rolls it back into RemainingLoad
+	// (the work lost to the co-schedule abort); ordinary preemption
+	// retains it.
+	Done int64
 	// SyncPoint marks the current workload as a synchronization point.
 	SyncPoint bool
 	// Status is the VCPU status.
@@ -72,6 +78,9 @@ type vmRef struct {
 	pending  *san.ExtPlace[pendingWorkload]
 	gen      *workload.Generator
 	vcpus    []*vcpuRef
+	// stalled, set when a fault plan is composed in, reports whether the
+	// global VCPU id is frozen by an injected stall; nil on healthy hosts.
+	stalled func(id int) bool
 }
 
 // hasInFlightSync reports whether a sync-point workload is currently being
@@ -93,7 +102,15 @@ func (vm *vmRef) hasInFlightSync() bool {
 func (vm *vmRef) lockHolderPreempted() bool {
 	for _, vc := range vm.vcpus {
 		s := vc.slot.Peek()
-		if s.SyncPoint && s.RemainingLoad > 0 && s.Status == Inactive {
+		if !s.SyncPoint || s.RemainingLoad <= 0 {
+			continue
+		}
+		if s.Status == Inactive {
+			return true
+		}
+		// An injected stall freezes the scheduled holder mid-critical-
+		// section — same semantic gap, same sibling spin storm.
+		if vm.stalled != nil && s.Status == Busy && vm.stalled(vc.id) {
 			return true
 		}
 	}
@@ -121,13 +138,21 @@ func (vm *vmRef) spinning(vc *vcpuRef) bool {
 // replication (construction is cheap), because the plugged-in Scheduler and
 // the workload generators carry state across ticks.
 type System struct {
-	cfg   SystemConfig
-	model *san.Model
-	sched Scheduler
-	vms   []*vmRef
-	vcpus []*vcpuRef
-	pcpus *san.ExtPlace[[]int]
-	clock *san.Activity
+	cfg       SystemConfig
+	model     *san.Model
+	sched     Scheduler
+	vms       []*vmRef
+	vcpus     []*vcpuRef
+	pcpus     *san.ExtPlace[[]int]
+	clock     *san.Activity
+	timestamp *san.ExtPlace[int64]
+	schedFn   *san.Activity
+
+	// flt / inj are the degraded-mode runtime and the SAN-side fault
+	// injector, both nil unless cfg.Faults is set; hot paths gate on a
+	// single nil test.
+	flt *faultRuntime
+	inj *faults.Injector
 
 	// Per-tick scratch reused across schedulerStep calls so the hot path
 	// does not allocate: view slices handed to the Scheduler, the pending
@@ -166,6 +191,9 @@ func (s *System) Reseed(sched Scheduler, src *rng.Source) error {
 		vm.gen.Reseed(src.Uint64())
 	}
 	s.sched = sched
+	if s.flt != nil {
+		s.flt.reset()
+	}
 	return nil
 }
 
@@ -201,6 +229,7 @@ func BuildSystem(cfg SystemConfig, sched Scheduler, src *rng.Source) (*System, e
 		return pc
 	})
 	timestamp := san.NewExtPlace(hv, "Timestamp", func() int64 { return 0 })
+	sys.timestamp = timestamp
 
 	// --- VM composed models (paper Figure 2) ---
 	for i, vmCfg := range cfg.VMs {
@@ -245,6 +274,14 @@ func BuildSystem(cfg SystemConfig, sched Scheduler, src *rng.Source) (*System, e
 		fn.Link(san.LinkOutput, vc.schedOut.Name())
 	}
 	fn.AddCase(nil, func() { sys.schedulerStep(timestamp) })
+	sys.schedFn = fn
+
+	// Fault-injection submodel (nil plan: no-op). Built after the Clock so
+	// fault activities follow it in definition order — the RNG delay-draw
+	// order of every healthy activity is untouched.
+	if err := buildFaults(sys); err != nil {
+		return nil, err
+	}
 
 	if err := model.Err(); err != nil {
 		return nil, fmt.Errorf("core: building system: %w", err)
@@ -329,10 +366,27 @@ func buildVCPUActivities(sys *System, sub *san.Sub, vm *vmRef, vc *vcpuRef) {
 			// descheduled, so this VCPU burns the tick without progress.
 			return
 		}
+		if flt := sys.flt; flt != nil {
+			if flt.stalled[vc.id] {
+				// Injected stall: the VCPU burns the tick frozen.
+				return
+			}
+			if p := vc.host.Peek().PCPU; p >= 0 && flt.throttle[p] > 0 {
+				// Throttled PCPU: bank fractional progress and spend a
+				// whole tick of credit per completed tick of work.
+				flt.credit[p] += flt.throttle[p]
+				if flt.credit[p] < 1 {
+					return
+				}
+				flt.credit[p]--
+			}
+		}
 		s := vc.slot.Get()
 		s.RemainingLoad--
+		s.Done++
 		if s.RemainingLoad <= 0 {
 			s.RemainingLoad = 0
+			s.Done = 0
 			s.SyncPoint = false
 			s.Status = Ready
 			vm.numReady.Add(1)
@@ -421,6 +475,7 @@ func buildJobFlow(sys *System, wg, js *san.Sub, vm *vmRef) {
 			}
 			s := vc.slot.Get()
 			s.RemainingLoad = w.Load
+			s.Done = 0
 			s.SyncPoint = w.Sync
 			s.Status = Busy
 			vm.numReady.Add(-1)
@@ -486,6 +541,13 @@ func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
 	for i := range pendingOut {
 		pendingOut[i] = false
 	}
+	if flt := sys.flt; flt != nil {
+		// Per-tick fault scratch: read by the impulse rewards that fire on
+		// Scheduling_Func right after this gate returns.
+		flt.tickRecoveryTicks = 0
+		flt.tickReseats = 0
+		flt.tickMisdecisions = 0
+	}
 	if now > 0 { // no time has elapsed before the very first tick
 		for _, vc := range sys.vcpus {
 			if vc.host.Peek().PCPU < 0 {
@@ -528,6 +590,16 @@ func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
 	for i, v := range *pc {
 		pviews[i] = PCPUView{ID: i, VCPU: v}
 	}
+	if flt := sys.flt; flt != nil {
+		// Expose degraded-mode state to the scheduling function.
+		for id := range views {
+			views[id].Stalled = flt.stalled[id]
+		}
+		for i := range pviews {
+			pviews[i].Down = flt.down[i]
+			pviews[i].Throttle = flt.throttle[i]
+		}
+	}
 
 	sys.acts.reset()
 	sys.sched.Schedule(now, views, pviews, &sys.acts)
@@ -540,6 +612,13 @@ func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
 // preemptions first, then assignments.
 func (sys *System) applyActions(now int64, acts *Actions) {
 	pc := sys.pcpus.Peek()
+	if flt := sys.flt; flt != nil && flt.misdecision {
+		// Transient scheduler-misdecision fault: the hypervisor "loses"
+		// this tick's decisions. They are counted, not applied — a fault
+		// effect, not a scheduler bug, so no modeling error is raised.
+		flt.tickMisdecisions += float64(len(acts.assigns) + len(acts.preempts))
+		return
+	}
 	for _, v := range acts.preempts {
 		if v < 0 || v >= len(sys.vcpus) {
 			sys.model.ReportError(fmt.Errorf("core: scheduler %q preempted unknown VCPU %d", sys.sched.Name(), v))
@@ -567,6 +646,13 @@ func (sys *System) applyActions(now int64, acts *Actions) {
 			sys.model.ReportError(fmt.Errorf("core: scheduler %q assigned non-positive timeslice %d", sys.sched.Name(), a.Timeslice))
 			continue
 		}
+		if flt := sys.flt; flt != nil && flt.down[a.PCPU] {
+			// Assigning a failed PCPU is a consequence of the injected
+			// fault (schedulers ignoring PCPUView.Down), not a modeling
+			// error: the decision is dropped and counted as a misdecision.
+			flt.tickMisdecisions++
+			continue
+		}
 		h := sys.vcpus[a.VCPU].host.Get()
 		if h.PCPU >= 0 {
 			sys.model.ReportError(fmt.Errorf("core: scheduler %q double-assigned VCPU %d", sys.sched.Name(), a.VCPU))
@@ -581,6 +667,13 @@ func (sys *System) applyActions(now int64, acts *Actions) {
 		h.Timeslice = a.Timeslice
 		h.LastIn = now
 		sys.vcpus[a.VCPU].schedIn.Add(1)
+		if flt := sys.flt; flt != nil && flt.pendingRecovery[a.PCPU] >= 0 {
+			// First assignment after the PCPU's restart closes its
+			// recovery window.
+			flt.tickRecoveryTicks += float64(now - flt.pendingRecovery[a.PCPU])
+			flt.tickReseats++
+			flt.pendingRecovery[a.PCPU] = -1
+		}
 	}
 }
 
@@ -599,6 +692,14 @@ func registerRewards(sys *System) {
 	blockedNames := make([]string, len(sys.vms))
 	for i, vm := range sys.vms {
 		blockedNames[i] = vm.blocked.Name()
+	}
+	// With a fault plan, spinning() additionally depends on the injected
+	// stall state, which changes exactly when the fault marker places do:
+	// document them so the incidence index re-evaluates the spin-sensitive
+	// rewards on fault transitions.
+	spinRefs := slotNames
+	if sys.inj != nil {
+		spinRefs = append(append([]string(nil), slotNames...), sys.inj.MarkerNames()...)
 	}
 	for _, vc := range sys.vcpus {
 		vc := vc
@@ -670,7 +771,7 @@ func registerRewards(sys *System) {
 			}
 		}
 		return float64(spinning) / float64(len(sys.vcpus))
-	}, slotNames...)
+	}, spinRefs...)
 	m.AddRateReward(EffectiveUtilizationMetric, func() float64 {
 		working := 0
 		for _, vm := range sys.vms {
@@ -681,5 +782,48 @@ func registerRewards(sys *System) {
 			}
 		}
 		return float64(working) / float64(len(sys.vcpus))
-	}, slotNames...)
+	}, spinRefs...)
+	registerFaultRewards(sys)
+}
+
+// registerFaultRewards defines the dependability reward variables of a
+// fault campaign; a healthy system (no plan) registers nothing.
+func registerFaultRewards(sys *System) {
+	flt := sys.flt
+	if flt == nil {
+		return
+	}
+	m := sys.model
+	slotNames := make([]string, len(sys.vcpus))
+	for i, vc := range sys.vcpus {
+		slotNames[i] = vc.slot.Name()
+	}
+	degRefs := append(slotNames, sys.inj.MarkerNames()...)
+	// Availability accrued only while degraded; divided by the degraded
+	// fraction (faults.DegradedMetric, registered by the Injector) it
+	// gives availability-under-faults.
+	m.AddRateReward(faults.AvailDegradedMetric, func() float64 {
+		if !flt.degraded() {
+			return 0
+		}
+		active := 0
+		for _, vc := range sys.vcpus {
+			if vc.slot.Peek().Status.Active() {
+				active++
+			}
+		}
+		return float64(active) / float64(len(sys.vcpus))
+	}, degRefs...)
+	// Per-tick fault accounting, read off the scratch the scheduling step
+	// fills; fire() evaluates impulses after the output gate, so each
+	// completion observes its own tick's values.
+	m.AddImpulseReward(faults.RecoveryTicksMetric, sys.schedFn, func() float64 {
+		return flt.tickRecoveryTicks
+	})
+	m.AddImpulseReward(faults.ReseatsMetric, sys.schedFn, func() float64 {
+		return flt.tickReseats
+	})
+	m.AddImpulseReward(faults.MisdecisionsMetric, sys.schedFn, func() float64 {
+		return flt.tickMisdecisions
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"vcpusim/internal/faults"
 	"vcpusim/internal/workload"
 )
 
@@ -37,6 +38,11 @@ type SystemConfig struct {
 	Timeslice int64
 	// VMs are the virtual machine sub-models.
 	VMs []VMConfig
+	// Faults, when non-nil, is a fault-injection campaign composed into
+	// the system model (see internal/faults). Nil means a healthy host;
+	// the fault hooks then cost nothing and the model is byte-identical
+	// to one built before the faults subsystem existed.
+	Faults *faults.Plan
 }
 
 // Validate checks the configuration against the framework's constraints:
@@ -69,6 +75,11 @@ func (c SystemConfig) Validate() error {
 	}
 	if total > MaxVCPUSlots {
 		return fmt.Errorf("core: %d total VCPUs, above the %d VCPU slots of the VCPU-scheduler model", total, MaxVCPUSlots)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.PCPUs, total); err != nil {
+			return fmt.Errorf("core: fault plan: %w", err)
+		}
 	}
 	return nil
 }

@@ -77,19 +77,32 @@ type VCPUView struct {
 	// Runtime is the cumulative number of ticks the VCPU has held a
 	// PCPU; co-scheduling algorithms derive sibling skew from it.
 	Runtime int64
+	// Stalled reports that an injected fault (internal/faults VCPU stall)
+	// is freezing the VCPU's progress: it keeps its PCPU and status but
+	// completes no work. Always false without a fault plan.
+	Stalled bool
 }
 
 // PCPUView is the per-PCPU state passed to scheduling functions; it mirrors
-// the paper's PCPU_external.
+// the paper's PCPU_external, extended with the degraded-mode state injected
+// by internal/faults (both fields stay zero without a fault plan).
 type PCPUView struct {
 	// ID is the PCPU index.
 	ID int
 	// VCPU is the VCPU currently assigned, or -1 when IDLE.
 	VCPU int
+	// Down reports a fail-stop fault: the PCPU accepts no assignments
+	// until it restarts (assignments to a down PCPU are discarded).
+	Down bool
+	// Throttle, when nonzero, is the PCPU's degraded speed as a fraction
+	// of full speed (a frequency-throttle fault); 0 means full speed.
+	Throttle float64
 }
 
-// Idle reports whether the PCPU has no VCPU assigned.
-func (p PCPUView) Idle() bool { return p.VCPU < 0 }
+// Idle reports whether the PCPU can accept an assignment: no VCPU is
+// assigned and the PCPU is not failed. Schedulers built on Idle/IdlePCPUs
+// are therefore fault-aware without further changes.
+func (p PCPUView) Idle() bool { return p.VCPU < 0 && !p.Down }
 
 // Assign is one scheduling decision: give a PCPU to a VCPU for a timeslice.
 type Assign struct {

@@ -6,6 +6,8 @@ import (
 	"maps"
 	"time"
 
+	"vcpusim/internal/faults"
+	"vcpusim/internal/obs"
 	"vcpusim/internal/rng"
 	"vcpusim/internal/san"
 )
@@ -52,6 +54,13 @@ func NewWorker(cfg SystemConfig, factory SchedulerFactory) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sys.inj != nil {
+		// Honor the plan's Disabled flags once: the administrative
+		// disable persists across Reset, covering every replication.
+		if err := sys.inj.Arm(inst); err != nil {
+			return nil, err
+		}
+	}
 	return &Worker{sys: sys, inst: inst, factory: factory, src: src}, nil
 }
 
@@ -75,6 +84,15 @@ func (w *Worker) EnableActivityStats() { w.inst.EnableActivityStats() }
 // (counters reset at the start of each one).
 func (w *Worker) LastStats() san.Stats { return w.inst.Stats() }
 
+// SetFaultSink installs a telemetry sink receiving fault.inject /
+// fault.recover spans from the system's fault injector; nil removes it.
+// No-op on a system without a fault plan.
+func (w *Worker) SetFaultSink(s obs.Sink) {
+	if w.sys.inj != nil {
+		w.sys.inj.SetSink(s)
+	}
+}
+
 // RunIntervalContext executes one replication seeded with seed, measuring
 // rewards over [warmup, horizon] and honoring ctx cancellation. It is the
 // pooled equivalent of RunReplicationIntervalContext with the same
@@ -92,7 +110,39 @@ func (w *Worker) RunIntervalContext(ctx context.Context, warmup, horizon float64
 	out := make(map[string]float64, len(res.Rates)+len(res.Impulses))
 	maps.Copy(out, res.Rates)
 	maps.Copy(out, res.Impulses)
+	if w.sys.cfg.Faults != nil {
+		deriveFaultMetrics(out, w.sys.cfg.Faults)
+	}
 	return out, nil
+}
+
+// deriveFaultMetrics folds per-spec fault impulses into campaign totals
+// and computes the derived dependability metrics: availability-under-
+// faults (mean availability conditioned on being degraded) and MTTR
+// (mean ticks from PCPU restart to its first re-assignment).
+func deriveFaultMetrics(out map[string]float64, plan *faults.Plan) {
+	var injects, recovers, lost float64
+	for i := range plan.Faults {
+		name := plan.Faults[i].Name
+		injects += out[faults.SpecInjectsMetric(name)]
+		recovers += out[faults.SpecRecoversMetric(name)]
+		lost += out[faults.SpecWorkLostMetric(name)]
+	}
+	out[faults.InjectsMetric] = injects
+	out[faults.RecoversMetric] = recovers
+	out[faults.WorkLostMetric] = lost
+	if deg := out[faults.DegradedMetric]; deg > 0 {
+		out[faults.AvailUnderFaultsMetric] = out[faults.AvailDegradedMetric] / deg
+	} else {
+		// Never degraded in the window: availability under faults is
+		// plain availability.
+		out[faults.AvailUnderFaultsMetric] = out[AvailabilityAvgMetric]
+	}
+	if rs := out[faults.ReseatsMetric]; rs > 0 {
+		out[faults.MTTRMetric] = out[faults.RecoveryTicksMetric] / rs
+	} else {
+		out[faults.MTTRMetric] = 0
+	}
 }
 
 // Run executes one replication over [0, horizon] with the given seed.

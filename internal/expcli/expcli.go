@@ -30,7 +30,7 @@ import (
 func Run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "all", "which experiment: 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, or all")
+		figure   = fs.String("figure", "all", "which experiment: 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, faults, or all")
 		engine   = fs.String("engine", "fast", `simulation engine: "fast" or "san"`)
 		seed     = fs.Uint64("seed", 1, "experiment seed")
 		horizon  = fs.Int64("horizon", 20000, "simulated ticks per replication")
@@ -127,6 +127,7 @@ func Run(args []string, out io.Writer) (err error) {
 		{"lock", func() ([]*report.Table, error) { return one(experiments.LockAblation(ctx, p)) }},
 		{"hybrid", func() ([]*report.Table, error) { return one(experiments.HybridAblation(ctx, p)) }},
 		{"engines", func() ([]*report.Table, error) { return one(experiments.EngineComparison(ctx, p, 3)) }},
+		{"faults", func() ([]*report.Table, error) { return one(experiments.FigureFaults(ctx, p)) }},
 	}
 
 	start := time.Now()
@@ -165,7 +166,7 @@ func Run(args []string, out io.Writer) (err error) {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q (use 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, or all)", *figure)
+		return fmt.Errorf("unknown figure %q (use 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, faults, or all)", *figure)
 	}
 
 	if spansFile != nil {

@@ -18,6 +18,7 @@ import (
 
 	"vcpusim/internal/core"
 	"vcpusim/internal/fastsim"
+	"vcpusim/internal/faults"
 	"vcpusim/internal/obs"
 	"vcpusim/internal/report"
 	"vcpusim/internal/rng"
@@ -280,8 +281,10 @@ func sanCounters(s san.Stats) obs.Counters {
 // replication only reseeds it — which is where the compile-once
 // executive's speedup comes from. The fast engine's replicator is
 // stateless and shared across slots. A non-nil acc collects every
-// replication's engine counters (the per-cell telemetry rollup).
-func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerFactory, acc *obs.Accumulator) sim.ReplicatorFactory {
+// replication's engine counters (the per-cell telemetry rollup); a
+// non-nil sink receives fault.inject/fault.recover spans when cfg carries
+// a fault plan.
+func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerFactory, acc *obs.Accumulator, sink obs.Sink) sim.ReplicatorFactory {
 	if p.Engine != EngineSAN {
 		rep := p.replicator(cfg, factory, acc)
 		return func() (sim.Replicator, error) { return rep, nil }
@@ -294,6 +297,9 @@ func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerF
 		if acc != nil {
 			w.SetClock(obs.Clock)
 		}
+		if sink != nil {
+			w.SetFaultSink(sink)
+		}
 		return func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -303,7 +309,12 @@ func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerF
 				return nil, err
 			}
 			if acc != nil {
-				acc.Add(sanCounters(w.LastStats()))
+				c := sanCounters(w.LastStats())
+				if cfg.Faults != nil {
+					c.FaultInjects = uint64(m[faults.InjectsMetric] + 0.5)
+					c.FaultRecovers = uint64(m[faults.RecoversMetric] + 0.5)
+				}
+				acc.Add(c)
 			}
 			return withEfficiency(m), nil
 		}, nil
@@ -320,13 +331,13 @@ func (p Params) runCell(ctx context.Context, cell string, cfg core.SystemConfig,
 	opts := p.Sim
 	opts.Seed = p.Seed
 	if p.Sink == nil {
-		return sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, nil), opts)
+		return sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, nil, nil), opts)
 	}
 	p.Sink.Emit(obs.Event{Kind: obs.KindCellStart, Cell: cell})
 	opts.Sink = obs.WithCell(p.Sink, cell)
 	acc := &obs.Accumulator{}
 	start := time.Now()
-	sum, err := sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, acc), opts)
+	sum, err := sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, acc, opts.Sink), opts)
 	if err != nil {
 		return sum, err
 	}

@@ -135,6 +135,9 @@ func New(cfg core.SystemConfig, sched core.Scheduler, seed uint64) (*Engine, err
 	if sched == nil {
 		return nil, fmt.Errorf("fastsim: nil scheduler")
 	}
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("fastsim: fault plans require the SAN engine")
+	}
 	src := rng.New(seed)
 	e := &Engine{cfg: cfg, sched: sched}
 	for i, vmCfg := range cfg.VMs {

@@ -1,0 +1,263 @@
+package faults
+
+import (
+	"fmt"
+
+	"vcpusim/internal/obs"
+	"vcpusim/internal/san"
+)
+
+// Applier is the narrow interface through which injected faults act on the
+// system model. The core package implements it; the Injector calls it only
+// from SAN gate code (inside a firing, with dirty tracking on), so every
+// side effect participates in the executive's incidence index through the
+// marking writes the implementation performs.
+type Applier interface {
+	// Now returns the current hypervisor timestamp (ticks), for span
+	// attributes and recovery-time bookkeeping.
+	Now() int64
+	// FailPCPU takes PCPU p down, evicting and rolling back its occupant
+	// VCPU; it returns the workload progress destroyed (ticks to redo).
+	FailPCPU(p int) int64
+	// RestorePCPU brings PCPU p back after a crash.
+	RestorePCPU(p int)
+	// ThrottlePCPU slows PCPU p to factor of full speed; UnthrottlePCPU
+	// restores full speed.
+	ThrottlePCPU(p int, factor float64)
+	UnthrottlePCPU(p int)
+	// StallVCPU freezes VCPU v's progress without revoking its PCPU;
+	// UnstallVCPU resumes it.
+	StallVCPU(v int)
+	UnstallVCPU(v int)
+	// BeginMisdecision / EndMisdecision open and close a window in which
+	// the scheduling function's decisions are discarded.
+	BeginMisdecision()
+	EndMisdecision()
+}
+
+// Injector realizes a Plan as SAN structure inside one submodel: per spec
+// an Armed_<name> budget place, a timed Inject_<name> activity gated on
+// the spec's fault marker being clear, and (for recoverable faults) a
+// timed Recover_<name> activity consuming the marker. Fault markers are
+// ordinary places — Down_PCPU<p>, Throttled_PCPU<p>, Stalled_VCPU<v>,
+// Misdecision — so marking writes flow through the executive's incidence
+// tracking and the campaign state is visible to structure export and
+// static analysis.
+//
+// The Injector also registers the campaign's reward variables (degraded
+// fraction, capacity, per-spec injection/recovery/work-lost impulses) and,
+// when a telemetry sink is installed, emits fault.inject / fault.recover
+// spans from the gate code. A nil sink is telemetry off: no event is
+// constructed.
+type Injector struct {
+	plan    *Plan
+	applier Applier
+	sink    obs.Sink
+
+	markerNames  []string
+	markerPlaces []*san.Place
+	// down / slow index marker places by PCPU (nil when the plan has no
+	// spec for that PCPU); slowFactor holds the throttle factor of the
+	// spec driving slow[p].
+	down, slow []*san.Place
+	slowFactor []float64
+
+	// injectNames are the activity names of each spec's injection
+	// activity, parallel to plan.Faults, for Arm's disable pass.
+	injectNames []string
+
+	// lastWorkLost carries FailPCPU's return from the inject output gate
+	// to the work-lost impulse reward that fires right after it.
+	lastWorkLost float64
+}
+
+// Attach builds the plan's injection structure into sub (a submodel of the
+// system model) and registers the campaign rewards. npcpus and nvcpus size
+// the target space; applier is the system's fault surface. The plan must
+// already be validated against the same dimensions.
+func Attach(sub *san.Sub, plan *Plan, npcpus, nvcpus int, applier Applier) (*Injector, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("faults: nil plan")
+	}
+	if applier == nil {
+		return nil, fmt.Errorf("faults: nil applier")
+	}
+	if err := plan.Validate(npcpus, nvcpus); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		plan:       plan,
+		applier:    applier,
+		down:       make([]*san.Place, npcpus),
+		slow:       make([]*san.Place, npcpus),
+		slowFactor: make([]float64, npcpus),
+	}
+	model := sub.Model()
+
+	stall := make([]*san.Place, nvcpus)
+	var misdecision *san.Place
+	marker := func(s *Spec) *san.Place {
+		switch s.Kind {
+		case KindPCPUCrash:
+			if inj.down[s.PCPU] == nil {
+				inj.down[s.PCPU] = inj.newMarker(sub, fmt.Sprintf("Down_PCPU%d", s.PCPU))
+			}
+			return inj.down[s.PCPU]
+		case KindPCPUSlow:
+			if inj.slow[s.PCPU] == nil {
+				inj.slow[s.PCPU] = inj.newMarker(sub, fmt.Sprintf("Throttled_PCPU%d", s.PCPU))
+			}
+			inj.slowFactor[s.PCPU] = s.Factor
+			return inj.slow[s.PCPU]
+		case KindVCPUStall:
+			if stall[s.VCPU] == nil {
+				stall[s.VCPU] = inj.newMarker(sub, fmt.Sprintf("Stalled_VCPU%d", s.VCPU))
+			}
+			return stall[s.VCPU]
+		default:
+			if misdecision == nil {
+				misdecision = inj.newMarker(sub, "Misdecision")
+			}
+			return misdecision
+		}
+	}
+
+	for i := range plan.Faults {
+		s := &plan.Faults[i]
+		m := marker(s)
+		armed := sub.Place("Armed_"+s.Name, s.EffectiveCount())
+
+		var injectDist = Dist{Dist: "deterministic", Value: s.At}
+		if s.Every != nil {
+			injectDist = *s.Every
+		}
+		dist, err := injectDist.Build()
+		if err != nil {
+			return nil, err
+		}
+		inject := sub.TimedActivity("Inject_"+s.Name, dist)
+		inject.InputArc(armed, 1)
+		// The marker gate: a fault stays down while its marker is set, so
+		// repeat injections wait for the previous recovery. The delay is
+		// sampled when the activity (re-)enables; for At specs that is
+		// t=0, making At an absolute injection time.
+		inject.Predicate(func() bool { return m.Tokens() == 0 })
+		inject.Link(san.LinkInput, m.Name())
+		inject.Link(san.LinkOutput, m.Name())
+		inject.AddCase(nil, func() {
+			m.SetTokens(1)
+			switch s.Kind {
+			case KindPCPUCrash:
+				inj.lastWorkLost = float64(applier.FailPCPU(s.PCPU))
+			case KindPCPUSlow:
+				applier.ThrottlePCPU(s.PCPU, s.Factor)
+			case KindVCPUStall:
+				applier.StallVCPU(s.VCPU)
+			default:
+				applier.BeginMisdecision()
+			}
+			inj.emit(obs.KindFaultInject, s)
+		})
+		model.AddImpulseReward(SpecInjectsMetric(s.Name), inject, nil)
+		if s.Kind == KindPCPUCrash {
+			// fire() runs impulse rewards after the output gate, so
+			// lastWorkLost is this injection's rollback.
+			model.AddImpulseReward(SpecWorkLostMetric(s.Name), inject, func() float64 {
+				return inj.lastWorkLost
+			})
+		}
+		inj.injectNames = append(inj.injectNames, inject.Name())
+
+		if s.Duration == nil {
+			continue // permanent fault: the marker is never cleared
+		}
+		ddist, err := s.Duration.Build()
+		if err != nil {
+			return nil, err
+		}
+		recover := sub.TimedActivity("Recover_"+s.Name, ddist)
+		recover.InputArc(m, 1)
+		recover.AddCase(nil, func() {
+			switch s.Kind {
+			case KindPCPUCrash:
+				applier.RestorePCPU(s.PCPU)
+			case KindPCPUSlow:
+				applier.UnthrottlePCPU(s.PCPU)
+			case KindVCPUStall:
+				applier.UnstallVCPU(s.VCPU)
+			default:
+				applier.EndMisdecision()
+			}
+			inj.emit(obs.KindFaultRecover, s)
+		})
+		model.AddImpulseReward(SpecRecoversMetric(s.Name), recover, nil)
+	}
+
+	model.AddRateReward(DegradedMetric, func() float64 {
+		for _, m := range inj.markerPlaces {
+			if m.Tokens() > 0 {
+				return 1
+			}
+		}
+		return 0
+	}, inj.markerNames...)
+	model.AddRateReward(CapacityMetric, func() float64 {
+		total := 0.0
+		for p := 0; p < npcpus; p++ {
+			switch {
+			case inj.down[p] != nil && inj.down[p].Tokens() > 0:
+			case inj.slow[p] != nil && inj.slow[p].Tokens() > 0:
+				total += inj.slowFactor[p]
+			default:
+				total++
+			}
+		}
+		return total / float64(npcpus)
+	}, inj.markerNames...)
+	return inj, nil
+}
+
+// newMarker creates a fault marker place and records it.
+func (inj *Injector) newMarker(sub *san.Sub, name string) *san.Place {
+	p := sub.Place(name, 0)
+	inj.markerNames = append(inj.markerNames, p.Name())
+	inj.markerPlaces = append(inj.markerPlaces, p)
+	return p
+}
+
+// emit sends a fault span when a sink is installed.
+func (inj *Injector) emit(kind string, s *Spec) {
+	if inj.sink == nil {
+		return
+	}
+	inj.sink.Emit(obs.Event{Kind: kind, Attrs: map[string]any{
+		"fault": s.Name,
+		"kind":  s.Kind,
+		"t":     inj.applier.Now(),
+	}})
+}
+
+// SetSink installs (or, with nil, removes) the telemetry sink receiving
+// fault.inject / fault.recover spans. Safe to call between replications.
+func (inj *Injector) SetSink(s obs.Sink) { inj.sink = s }
+
+// MarkerNames returns the fully qualified names of the plan's fault
+// marker places, for reward Refs documentation.
+func (inj *Injector) MarkerNames() []string {
+	return append([]string(nil), inj.markerNames...)
+}
+
+// Arm applies the plan's Disabled flags to a compiled instance via the
+// activity enable/disable API. Disabled state persists across
+// Instance.Reset, so one Arm per instance suffices.
+func (inj *Injector) Arm(in *san.Instance) error {
+	for i := range inj.plan.Faults {
+		if !inj.plan.Faults[i].Disabled {
+			continue
+		}
+		if err := in.SetActivityEnabled(inj.injectNames[i], false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"vcpusim/internal/obs"
+	"vcpusim/internal/san"
+)
+
+// stubApplier records every fault action in order; FailPCPU reports a
+// fixed 7 ticks of destroyed progress so the work-lost impulse is
+// observable.
+type stubApplier struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (a *stubApplier) record(format string, args ...any) {
+	a.mu.Lock()
+	a.calls = append(a.calls, fmt.Sprintf(format, args...))
+	a.mu.Unlock()
+}
+
+func (a *stubApplier) Now() int64                         { return 0 }
+func (a *stubApplier) FailPCPU(p int) int64               { a.record("fail %d", p); return 7 }
+func (a *stubApplier) RestorePCPU(p int)                  { a.record("restore %d", p) }
+func (a *stubApplier) ThrottlePCPU(p int, factor float64) { a.record("throttle %d %.2f", p, factor) }
+func (a *stubApplier) UnthrottlePCPU(p int)               { a.record("unthrottle %d", p) }
+func (a *stubApplier) StallVCPU(v int)                    { a.record("stall %d", v) }
+func (a *stubApplier) UnstallVCPU(v int)                  { a.record("unstall %d", v) }
+func (a *stubApplier) BeginMisdecision()                  { a.record("mis begin") }
+func (a *stubApplier) EndMisdecision()                    { a.record("mis end") }
+
+// eventSink records emitted spans.
+type eventSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *eventSink) Emit(e obs.Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+// build attaches plan to a fresh model (Faults submodel only — the
+// injection structure is a self-contained SAN) and compiles an instance.
+func build(t *testing.T, plan *Plan, npcpus, nvcpus int, applier Applier) (*Injector, *san.Instance) {
+	t.Helper()
+	model := san.NewModel("faulttest")
+	inj, err := Attach(model.Sub("Faults"), plan, npcpus, nvcpus, applier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := san.Compile(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := prog.NewInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj, inst
+}
+
+func crashPlan() *Plan {
+	return &Plan{Faults: []Spec{{
+		Name: "crash1", Kind: KindPCPUCrash, PCPU: 1, At: 500,
+		Duration: &Dist{Dist: "deterministic", Value: 200},
+	}}}
+}
+
+func TestAttachCrashLifecycle(t *testing.T) {
+	app := &stubApplier{}
+	sink := &eventSink{}
+	inj, inst := build(t, crashPlan(), 2, 4, app)
+	inj.SetSink(sink)
+	inst.Reset(1)
+	res, err := inst.RunInterval(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := res.Impulses[SpecInjectsMetric("crash1")]; got != 1 {
+		t.Errorf("injects = %g, want 1", got)
+	}
+	if got := res.Impulses[SpecRecoversMetric("crash1")]; got != 1 {
+		t.Errorf("recovers = %g, want 1", got)
+	}
+	if got := res.Impulses[SpecWorkLostMetric("crash1")]; got != 7 {
+		t.Errorf("work lost = %g, want FailPCPU's 7", got)
+	}
+	// Down for [500, 700) of 1000 ticks.
+	if got := res.Rates[DegradedMetric]; math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("degraded fraction = %g, want 0.2", got)
+	}
+	// One of two PCPUs down a fifth of the time: 0.8 + 0.2*0.5.
+	if got := res.Rates[CapacityMetric]; math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("capacity = %g, want 0.9", got)
+	}
+	if want := []string{"fail 1", "restore 1"}; !reflect.DeepEqual(app.calls, want) {
+		t.Errorf("applier calls = %v, want %v", app.calls, want)
+	}
+
+	if len(sink.events) != 2 {
+		t.Fatalf("got %d spans, want inject+recover", len(sink.events))
+	}
+	if sink.events[0].Kind != obs.KindFaultInject || sink.events[1].Kind != obs.KindFaultRecover {
+		t.Errorf("span kinds = %s, %s", sink.events[0].Kind, sink.events[1].Kind)
+	}
+	attrs, ok := sink.events[0].Attrs.(map[string]any)
+	if !ok || attrs["fault"] != "crash1" || attrs["kind"] != KindPCPUCrash {
+		t.Errorf("inject span attrs = %#v", sink.events[0].Attrs)
+	}
+}
+
+func TestAttachPermanentFaultHasNoRecovery(t *testing.T) {
+	app := &stubApplier{}
+	plan := &Plan{Faults: []Spec{{
+		Name: "slow0", Kind: KindPCPUSlow, PCPU: 0, Factor: 0.25, At: 100,
+	}}}
+	_, inst := build(t, plan, 2, 4, app)
+	inst.Reset(1)
+	res, err := inst.RunInterval(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Impulses[SpecInjectsMetric("slow0")]; got != 1 {
+		t.Errorf("injects = %g, want 1", got)
+	}
+	if _, ok := res.Impulses[SpecRecoversMetric("slow0")]; ok {
+		t.Error("permanent fault registered a recovery impulse")
+	}
+	// Throttled for [100, 1000): degraded 0.9, capacity 0.1 + 0.9*(0.25+1)/2.
+	if got := res.Rates[DegradedMetric]; math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("degraded fraction = %g, want 0.9", got)
+	}
+	want := 0.1 + 0.9*(0.25+1)/2
+	if got := res.Rates[CapacityMetric]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("capacity = %g, want %g", got, want)
+	}
+	if len(app.calls) != 1 || app.calls[0] != "throttle 0 0.25" {
+		t.Errorf("applier calls = %v", app.calls)
+	}
+}
+
+func TestAttachRepeatInjectionsWaitForRecovery(t *testing.T) {
+	app := &stubApplier{}
+	plan := &Plan{Faults: []Spec{{
+		Name: "storm", Kind: KindVCPUStall, VCPU: 2,
+		Every:    &Dist{Dist: "exponential", Rate: 0.05},
+		Duration: &Dist{Dist: "uniform", Low: 5, High: 20},
+		Count:    3,
+	}}}
+	_, inst := build(t, plan, 2, 4, app)
+	inst.Reset(7)
+	res, err := inst.RunInterval(0, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Impulses[SpecInjectsMetric("storm")]; got != 3 {
+		t.Errorf("injects = %g, want the count cap 3", got)
+	}
+	if got := res.Impulses[SpecRecoversMetric("storm")]; got != 3 {
+		t.Errorf("recovers = %g, want 3", got)
+	}
+	// Stall and unstall must strictly alternate: repeat injections gate on
+	// the marker being clear.
+	want := []string{"stall 2", "unstall 2", "stall 2", "unstall 2", "stall 2", "unstall 2"}
+	if !reflect.DeepEqual(app.calls, want) {
+		t.Errorf("applier calls = %v, want strict alternation", app.calls)
+	}
+}
+
+func TestAttachSameSeedBitIdentical(t *testing.T) {
+	plan := &Plan{Faults: []Spec{
+		{Name: "storm", Kind: KindVCPUStall, VCPU: 0,
+			Every:    &Dist{Dist: "exponential", Rate: 0.01},
+			Duration: &Dist{Dist: "uniform", Low: 10, High: 100},
+			Count:    10},
+		{Name: "mis", Kind: KindMisdecision, At: 333,
+			Duration: &Dist{Dist: "erlang", Rate: 0.02, K: 2}},
+	}}
+	run := func(seed uint64) san.Results {
+		_, inst := build(t, plan, 2, 4, &stubApplier{})
+		inst.Reset(seed)
+		res, err := inst.RunInterval(0, 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a.Rates, b.Rates) || !reflect.DeepEqual(a.Impulses, b.Impulses) {
+		t.Error("same-seed campaigns diverged")
+	}
+	// Injection counts hit the caps on any seed; the sampled timings show
+	// up in the time-averaged degraded fraction.
+	c := run(43)
+	if a.Rates[DegradedMetric] == c.Rates[DegradedMetric] {
+		t.Error("different seeds produced identical fault timings (suspicious)")
+	}
+
+	// Pooled path: Reset on the same instance must replay identically too.
+	_, inst := build(t, plan, 2, 4, &stubApplier{})
+	inst.Reset(42)
+	first, err := inst.RunInterval(0, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Reset(99)
+	if _, err := inst.RunInterval(0, 50000); err != nil {
+		t.Fatal(err)
+	}
+	inst.Reset(42)
+	again, err := inst.RunInterval(0, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Rates, again.Rates) || !reflect.DeepEqual(first.Impulses, again.Impulses) {
+		t.Error("pooled Reset replay diverged from first run")
+	}
+}
+
+func TestArmDisablesSpecs(t *testing.T) {
+	app := &stubApplier{}
+	plan := crashPlan()
+	plan.Faults[0].Disabled = true
+	inj, inst := build(t, plan, 2, 4, app)
+	if err := inj.Arm(inst); err != nil {
+		t.Fatal(err)
+	}
+	inst.Reset(1)
+	res, err := inst.RunInterval(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Impulses[SpecInjectsMetric("crash1")]; got != 0 {
+		t.Errorf("disabled spec injected %g times", got)
+	}
+	if len(app.calls) != 0 {
+		t.Errorf("disabled spec acted on the applier: %v", app.calls)
+	}
+	// Disable persists across Reset: the next replication stays clean.
+	inst.Reset(2)
+	res, err = inst.RunInterval(0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Impulses[SpecInjectsMetric("crash1")]; got != 0 {
+		t.Errorf("disable did not persist across Reset: %g injections", got)
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	model := san.NewModel("m")
+	if _, err := Attach(model.Sub("Faults"), nil, 2, 4, &stubApplier{}); err == nil {
+		t.Error("nil plan accepted")
+	}
+	if _, err := Attach(model.Sub("Faults2"), crashPlan(), 2, 4, nil); err == nil {
+		t.Error("nil applier accepted")
+	}
+	bad := crashPlan()
+	bad.Faults[0].PCPU = 9
+	if _, err := Attach(model.Sub("Faults3"), bad, 2, 4, &stubApplier{}); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func TestMarkerNames(t *testing.T) {
+	inj, _ := build(t, crashPlan(), 2, 4, &stubApplier{})
+	names := inj.MarkerNames()
+	if len(names) != 1 || !strings.Contains(names[0], "Down_PCPU1") {
+		t.Errorf("MarkerNames = %v", names)
+	}
+	names[0] = "mutated"
+	if inj.MarkerNames()[0] == "mutated" {
+		t.Error("MarkerNames returned internal slice")
+	}
+}

@@ -27,13 +27,17 @@ import (
 //     (replications completed including this batch).
 //   - sim.stop:   Cell, Reps, Converged, Widths (per-metric relative CI
 //     half-widths at this stopping-rule check; non-finite widths omitted).
+//   - fault.inject / fault.recover: Attrs carries the fault name, kind,
+//     and injection/recovery timestamp (see internal/faults).
 //   - trace.*:    Attrs carries the scheduling trace event (see the trace
 //     package's obs adapter).
 const (
-	KindCellStart = "cell.start"
-	KindCellEnd   = "cell.end"
-	KindBatch     = "sim.batch"
-	KindStop      = "sim.stop"
+	KindCellStart    = "cell.start"
+	KindCellEnd      = "cell.end"
+	KindBatch        = "sim.batch"
+	KindStop         = "sim.stop"
+	KindFaultInject  = "fault.inject"
+	KindFaultRecover = "fault.recover"
 )
 
 // Event is one structured telemetry event. Fields are a union across the
@@ -136,6 +140,11 @@ type Counters struct {
 	// stabilization.
 	StabilizeIters    uint64 `json:"stabilize_iters,omitempty"`
 	MaxStabilizeDepth uint64 `json:"max_stabilize_depth,omitempty"`
+	// FaultInjects / FaultRecovers count fault events injected into and
+	// recovered by the replications (internal/faults campaigns); zero when
+	// no fault plan is configured.
+	FaultInjects  uint64 `json:"fault_injects,omitempty"`
+	FaultRecovers uint64 `json:"fault_recovers,omitempty"`
 	// WallNS is measured wall time; EventsPerSec is Events over WallNS.
 	WallNS       int64   `json:"wall_ns,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
@@ -157,6 +166,7 @@ type Accumulator struct {
 	timed, inst, aborts   atomic.Uint64
 	scheduled, cancelled  atomic.Uint64
 	stabIters, maxStab    atomic.Uint64
+	faultInj, faultRec    atomic.Uint64
 	wallNS                atomic.Int64
 }
 
@@ -171,6 +181,8 @@ func (a *Accumulator) Add(c Counters) {
 	a.scheduled.Add(c.Scheduled)
 	a.cancelled.Add(c.Cancelled)
 	a.stabIters.Add(c.StabilizeIters)
+	a.faultInj.Add(c.FaultInjects)
+	a.faultRec.Add(c.FaultRecovers)
 	for {
 		cur := a.maxStab.Load()
 		if c.MaxStabilizeDepth <= cur || a.maxStab.CompareAndSwap(cur, c.MaxStabilizeDepth) {
@@ -195,6 +207,8 @@ func (a *Accumulator) Counters() Counters {
 		Cancelled:         a.cancelled.Load(),
 		StabilizeIters:    a.stabIters.Load(),
 		MaxStabilizeDepth: a.maxStab.Load(),
+		FaultInjects:      a.faultInj.Load(),
+		FaultRecovers:     a.faultRec.Load(),
 		WallNS:            a.wallNS.Load(),
 	}
 }

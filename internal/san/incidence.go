@@ -48,6 +48,16 @@ func (b bitset) setAll(n int) {
 	}
 }
 
+// any reports whether any bit is set.
+func (b bitset) any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // next returns the lowest set bit at or after from, or -1 when none is set.
 func (b bitset) next(from int) int {
 	if from < 0 {

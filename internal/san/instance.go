@@ -77,6 +77,16 @@ type Instance struct {
 	// wildcard sets are folded into them on every pass.
 	candTimed, candInst bitset
 
+	// disabledTimed / disabledInst are activities administratively disabled
+	// via SetActivityEnabled: treated as never enabled regardless of their
+	// predicates. Deliberately NOT cleared by Reset — disabling configures
+	// the instance (e.g. arming a fault campaign's Disabled specs once per
+	// worker) and persists across replications. Allocated lazily on the
+	// first SetActivityEnabled call; anyDisabled gates the hot paths so
+	// the default all-enabled case pays one boolean test and no storage.
+	disabledTimed, disabledInst bitset
+	anyDisabled                 bool
+
 	// tracking is true while gate code runs inside fire; only then do the
 	// model's touch hooks record dirt.
 	tracking bool
@@ -203,6 +213,38 @@ func (in *Instance) Reset(seed uint64) {
 	for i := range in.warmImpulses {
 		in.warmImpulses[i] = 0
 	}
+}
+
+// SetActivityEnabled administratively enables or disables an activity by
+// its fully qualified name. A disabled activity is treated as never
+// enabled: a scheduled activation is aborted at the next reconciliation
+// and an instantaneous activity never fires. The setting persists across
+// Reset, so configuring an instance once covers every replication it
+// runs; it is the public injection surface internal/faults uses to honor
+// a plan's Disabled flags without touching private executive state.
+func (in *Instance) SetActivityEnabled(name string, enabled bool) error {
+	ref, ok := in.prog.activityRef(name)
+	if !ok {
+		return fmt.Errorf("san: no activity %q in model %q", name, in.prog.model.Name())
+	}
+	if in.disabledTimed == nil {
+		in.disabledTimed = newBitset(len(in.timed))
+		in.disabledInst = newBitset(len(in.instants))
+	}
+	set, cand := in.disabledInst, in.candInst
+	if ref.timed {
+		set, cand = in.disabledTimed, in.candTimed
+	}
+	if enabled {
+		set.clear(ref.idx)
+	} else {
+		set.set(ref.idx)
+	}
+	// Reconsider the activity so a pending activation is cancelled (or a
+	// newly re-enabled one sampled) at the next reconciliation pass.
+	cand.set(ref.idx)
+	in.anyDisabled = in.disabledTimed.any() || in.disabledInst.any()
+	return nil
 }
 
 // touchID marks a place dirty (token places use their id, extended places
@@ -434,6 +476,9 @@ func (in *Instance) stabilize() error {
 		for i := in.candInst.next(0); i >= 0; i = in.candInst.next(i + 1) {
 			ap := in.instants[i]
 			in.candInst.clear(i)
+			if in.anyDisabled && in.disabledInst.has(i) {
+				continue
+			}
 			if ap.act.enabled() {
 				in.fire(ap)
 				in.instFirings++
@@ -483,6 +528,9 @@ func (in *Instance) refresh() {
 		ev := in.events[i]
 		scheduled := ev.Pending()
 		enabled := ap.act.enabled()
+		if in.anyDisabled && in.disabledTimed.has(i) {
+			enabled = false
+		}
 		switch {
 		case enabled && !scheduled:
 			delay := ap.act.delay(in.src)

@@ -3,6 +3,7 @@ package san
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // actPlan is the compiled execution plan of one activity: its identity plus
@@ -61,6 +62,34 @@ type Program struct {
 
 	// maxCases sizes the per-instance case-weight scratch buffer.
 	maxCases int
+
+	// actIndex resolves activity names to their position in the firing
+	// tables, for Instance.SetActivityEnabled. Built lazily on first
+	// lookup so programs that never disable anything pay nothing.
+	actOnce  sync.Once
+	actIndex map[string]actRef
+}
+
+// actRef locates an activity in a program's firing tables.
+type actRef struct {
+	timed bool
+	idx   int
+}
+
+// activityRef resolves an activity name to its firing-table position,
+// building the index on first use.
+func (p *Program) activityRef(name string) (actRef, bool) {
+	p.actOnce.Do(func() {
+		p.actIndex = make(map[string]actRef, len(p.timed)+len(p.instants))
+		for i, ap := range p.timed {
+			p.actIndex[ap.act.name] = actRef{timed: true, idx: i}
+		}
+		for i, ap := range p.instants {
+			p.actIndex[ap.act.name] = actRef{idx: i}
+		}
+	})
+	ref, ok := p.actIndex[name]
+	return ref, ok
 }
 
 // Model returns the model the program was compiled from.
@@ -105,7 +134,6 @@ func Compile(model *Model) (*Program, error) {
 		p.instants = append(p.instants, ap)
 		plan[a] = ap
 	}
-
 	// Reward fan-out: impulse rewards by triggering activity; rate rewards
 	// by documented place/activity references.
 	for i, ir := range m.impulses {

@@ -37,10 +37,12 @@ package vcpusim
 
 import (
 	"context"
+	"io"
 
 	"vcpusim/internal/core"
 	"vcpusim/internal/experiments"
 	"vcpusim/internal/fastsim"
+	"vcpusim/internal/faults"
 	"vcpusim/internal/report"
 	"vcpusim/internal/rng"
 	"vcpusim/internal/san"
@@ -299,6 +301,45 @@ func Figure9(ctx context.Context, p ExperimentParams) (*Table, error) {
 func Figure10(ctx context.Context, p ExperimentParams) (efficiency, absolute *Table, err error) {
 	return experiments.Figure10(ctx, p)
 }
+
+// Fault injection (dependability evaluation on the SAN engine): set
+// SystemConfig.Faults to a FaultPlan and run with RunSAN or the SAN-backed
+// Replicate path. See examples/faultcampaign.
+
+// Fault-injection types.
+type (
+	// FaultPlan is a declarative fault-injection campaign.
+	FaultPlan = faults.Plan
+	// FaultSpec is one fault event source of a campaign.
+	FaultSpec = faults.Spec
+	// FaultDist is a fault-timing distribution (deterministic, uniform,
+	// exponential, or erlang).
+	FaultDist = faults.Dist
+)
+
+// Fault kinds.
+const (
+	FaultPCPUCrash   = faults.KindPCPUCrash
+	FaultPCPUSlow    = faults.KindPCPUSlow
+	FaultVCPUStall   = faults.KindVCPUStall
+	FaultMisdecision = faults.KindMisdecision
+)
+
+// Dependability metric names produced by fault-injected replications.
+const (
+	FaultDegradedMetric         = faults.DegradedMetric
+	FaultCapacityMetric         = faults.CapacityMetric
+	FaultAvailUnderFaultsMetric = faults.AvailUnderFaultsMetric
+	FaultMTTRMetric             = faults.MTTRMetric
+	FaultInjectsMetric          = faults.InjectsMetric
+	FaultRecoversMetric         = faults.RecoversMetric
+	FaultWorkLostMetric         = faults.WorkLostMetric
+	FaultMisdecisionsMetric     = faults.MisdecisionsMetric
+)
+
+// ParseFaultPlan reads a fault-injection campaign from JSON: either
+// {"faults": [...]} or a bare spec array.
+func ParseFaultPlan(r io.Reader) (*FaultPlan, error) { return faults.Parse(r) }
 
 // BuildModel composes the Stochastic Activity Network model of cfg without
 // running it, for inspection or DOT export via Model().Dot().
