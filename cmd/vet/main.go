@@ -1,25 +1,55 @@
 // Command vet statically verifies a vcpusim study before it runs: the
-// SAN model built from an experiment configuration (structural defects)
-// and the simulator source tree (determinism-contract violations). It is
-// the standalone twin of `vcpusim vet`.
+// SAN model built from an experiment configuration (structural defects,
+// boundedness/deadlock proofs) and the simulator source tree
+// (determinism-contract violations). It is the standalone twin of
+// `vcpusim vet`.
 //
 // Usage:
 //
 //	vet                       # lint the enclosing module's source
 //	vet -config exp.json      # additionally verify the configured model
+//	vet -structural           # prove the model suite bounded/deadlock-free
+//	vet -json                 # machine-readable findings, one JSON per line
 //	vet -fixtures             # demonstrate every model check
+//
+// The binary also speaks the `go vet -vettool` protocol: invoked by the
+// go command (with -V=full, -flags, or a <unit>.cfg argument) it runs
+// the determinism analyzers as a vet tool over the go command's package
+// graph:
+//
+//	go vet -vettool=$(pwd)/vet ./...
 package main
 
 import (
 	"fmt"
 	"os"
+	"strings"
 
+	"vcpusim/internal/analysis"
+	"vcpusim/internal/golint"
 	"vcpusim/internal/vet"
 )
 
 func main() {
+	if vettoolInvocation(os.Args[1:]) {
+		analysis.Main(golint.Analyzers()...)
+	}
 	if err := vet.Run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "vet:", err)
 		os.Exit(1)
 	}
+}
+
+// vettoolInvocation recognizes the go command driving this binary as a
+// vet tool: the -V=full version handshake, the -flags capability query,
+// or a single <unit>.cfg argument naming a compilation unit.
+func vettoolInvocation(args []string) bool {
+	for _, a := range args {
+		switch {
+		case a == "-flags" || a == "--flags",
+			strings.HasPrefix(a, "-V=") || strings.HasPrefix(a, "--V="):
+			return true
+		}
+	}
+	return len(args) >= 1 && strings.HasSuffix(args[len(args)-1], ".cfg")
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVettoolInvocation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{[]string{"-V=full"}, true},
+		{[]string{"-flags"}, true},
+		{[]string{"/objdir/vet.cfg"}, true},
+		{[]string{"-map-range", "/objdir/vet.cfg"}, true},
+		{[]string{}, false},
+		{[]string{"-structural"}, false},
+		{[]string{"-config", "exp.json"}, false},
+	}
+	for _, c := range cases {
+		if got := vettoolInvocation(c.args); got != c.want {
+			t.Errorf("vettoolInvocation(%v) = %v, want %v", c.args, got, c.want)
+		}
+	}
+}
+
+// TestGoVetProtocol is the end-to-end vet-tool check: build this binary,
+// hand it to `go vet -vettool`, and confirm it passes the version/flags
+// handshake, runs clean on a clean module, and fails with positioned
+// findings on a seeded-defect module.
+func TestGoVetProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and execs go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("no go tool: %v", err)
+	}
+	tool := filepath.Join(t.TempDir(), "vcpuvet")
+	if out, err := exec.Command(goTool, "build", "-o", tool, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building vet tool: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(mod, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/fake\n\ngo 1.22\n")
+	write("internal/san/ok.go", "package san\n\nfunc OK() {}\n")
+
+	vet := func() (string, error) {
+		cmd := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+	if out, err := vet(); err != nil {
+		t.Fatalf("clean module flagged: %v\n%s", err, out)
+	}
+
+	write("internal/san/bad.go", `package san
+
+import "time"
+
+func Stamp(m map[string]int) int64 {
+	for range m {
+	}
+	return time.Now().UnixNano()
+}
+`)
+	out, err := vet()
+	if err == nil {
+		t.Fatalf("defective module passed:\n%s", out)
+	}
+	for _, want := range []string{
+		"bad.go:6:2", "map iteration order",
+		"bad.go:8:9", "time.Now",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vet output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package analysis is a self-contained mirror of the golang.org/x/tools
+// go/analysis vocabulary — Analyzer, Pass, Diagnostic — plus the two
+// drivers the repository needs to run its determinism analyzers:
+//
+//   - a module driver (RunModule) that walks a module tree, parses every
+//     package, type-checks on demand, and applies each analyzer to the
+//     packages its scope admits. This powers `vcpusim vet` and the
+//     golint facade, with no external processes.
+//   - a unitchecker driver (Main) speaking the `go vet -vettool`
+//     protocol: the -V=full version handshake, the JSON vet.cfg unit
+//     description, type-checking against the gc export data the go
+//     command already built, and the facts/diagnostic exit contract.
+//     This lets the same analyzers run under `go vet
+//     -vettool=$(which vet) ./...` with the go command's package graph,
+//     caching, and test-variant coverage.
+//
+// The dependency is stdlib-only (go/ast, go/parser, go/types,
+// go/importer); the x/tools module is deliberately not imported. The API
+// is shaped so analyzers written here could migrate to the real
+// go/analysis with mechanical changes only.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer with two scoping extensions
+// the module driver and unitchecker share: Scope (which packages the
+// check applies to, by module-relative directory) and IncludeTests
+// (whether _test.go files are inspected by the module driver; under
+// `go vet`, test variants arrive as their own compilation units and
+// Scope alone decides).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. By
+	// convention it is a short kebab-case rule name ("wall-clock").
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces.
+	Doc string
+	// Scope, when non-nil, restricts the analyzer to packages whose
+	// module-relative directory (slash-separated, "." for the module
+	// root) satisfies the predicate. A nil Scope means every package.
+	Scope func(rel string) bool
+	// IncludeTests runs the analyzer over _test.go files as well (module
+	// driver only; requires NeedTypes to be false, since test files are
+	// not part of the type-checked unit there).
+	IncludeTests bool
+	// NeedTypes asks the driver to type-check the package and populate
+	// Pass.TypesInfo before running. Syntactic analyzers leave it false
+	// and pay no type-checking cost under the module driver.
+	NeedTypes bool
+	// Run applies the analyzer to one package. Findings are delivered
+	// via Pass.Report; the result value is unused by these drivers and
+	// exists for go/analysis signature compatibility.
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the interface between one analyzer run and the driver,
+// mirroring go/analysis.Pass: the syntax and type facts of a single
+// package plus the Report sink.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files is the package's syntax. With IncludeTests under the module
+	// driver it includes _test.go files.
+	Files []*ast.File
+	// Pkg is the type-checked package, nil unless NeedTypes.
+	Pkg *types.Package
+	// TypesInfo holds expression types, nil unless NeedTypes.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, mirroring go/analysis.Diagnostic.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a positioned diagnostic as the drivers surface it: the
+// analyzer name plus the resolved file position.
+type Finding struct {
+	// Analyzer is the reporting analyzer's Name.
+	Analyzer string
+	// Pos locates the offending syntax.
+	Pos token.Position
+	// Message explains the violation.
+	Message string
+}
+
+// String renders the finding in the conventional path:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Validate checks an analyzer set for driver use: non-empty unique
+// names and non-nil Run functions.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("analysis: nil analyzer")
+		}
+		if a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %s has nil Run", a.Name)
+		}
+		if a.NeedTypes && a.IncludeTests {
+			return fmt.Errorf("analysis: analyzer %s: NeedTypes and IncludeTests are mutually exclusive", a.Name)
+		}
+	}
+	return nil
+}

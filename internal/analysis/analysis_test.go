@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// flagFuncs reports every function declaration — a trivial syntactic
+// analyzer for driver tests.
+func flagFuncs(scope func(string) bool, includeTests bool) *Analyzer {
+	return &Analyzer{
+		Name:         "flag-funcs",
+		Doc:          "report every function declaration",
+		Scope:        scope,
+		IncludeTests: includeTests,
+		Run: func(pass *Pass) (any, error) {
+			for _, f := range pass.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+}
+
+func TestRunModuleScopesAndTests(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod":                "module example.com/m\n\ngo 1.22\n",
+		"a/a.go":                "package a\n\nfunc A() {}\n",
+		"a/a_test.go":           "package a\n\nfunc TestA() {}\n",
+		"b/b.go":                "package b\n\nfunc B() {}\n",
+		"b/testdata/ignored.go": "package ignored\n\nfunc Nope() {}\n",
+	})
+	findings, err := RunModule(ModuleConfig{Root: root}, []*Analyzer{flagFuncs(InScope("a"), true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, f := range findings {
+		msgs = append(msgs, f.Message)
+	}
+	// Scoped to a/ with tests: A and TestA, never B or testdata.
+	if strings.Join(msgs, ",") != "func A,func TestA" {
+		t.Errorf("messages = %v, want [func A, func TestA]", msgs)
+	}
+
+	findings, err = RunModule(ModuleConfig{Root: root}, []*Analyzer{flagFuncs(nil, false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs = nil
+	for _, f := range findings {
+		msgs = append(msgs, f.Message)
+	}
+	if strings.Join(msgs, ",") != "func A,func B" {
+		t.Errorf("messages = %v, want [func A, func B] (no tests, no testdata)", msgs)
+	}
+}
+
+func TestRunModuleTypedAnalyzer(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.22\n",
+		"p/p.go": "package p\n\nvar M = map[string]int{}\n",
+	})
+	typed := &Analyzer{
+		Name:      "flag-maps",
+		Doc:       "report map-typed package variables",
+		NeedTypes: true,
+		Run: func(pass *Pass) (any, error) {
+			if pass.TypesInfo == nil || pass.Pkg == nil {
+				t.Error("typed analyzer ran without type facts")
+				return nil, nil
+			}
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					vs, ok := n.(*ast.ValueSpec)
+					if !ok {
+						return true
+					}
+					for _, v := range vs.Values {
+						if tt := pass.TypesInfo.TypeOf(v); tt != nil {
+							if _, isMap := tt.Underlying().(*types.Map); isMap {
+								pass.Reportf(vs.Pos(), "map var")
+							}
+						}
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+	findings, err := RunModule(ModuleConfig{Root: root}, []*Analyzer{typed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Message != "map var" {
+		t.Errorf("findings = %v, want one map var", findings)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := func(p *Pass) (any, error) { return nil, nil }
+	cases := []struct {
+		name string
+		as   []*Analyzer
+	}{
+		{"nil analyzer", []*Analyzer{nil}},
+		{"empty name", []*Analyzer{{Run: ok}}},
+		{"nil run", []*Analyzer{{Name: "x"}}},
+		{"duplicate", []*Analyzer{{Name: "x", Run: ok}, {Name: "x", Run: ok}}},
+		{"typed tests", []*Analyzer{{Name: "x", Run: ok, NeedTypes: true, IncludeTests: true}}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.as); err == nil {
+			t.Errorf("%s: Validate accepted", c.name)
+		}
+	}
+	if err := Validate([]*Analyzer{{Name: "x", Run: ok}, {Name: "y", Run: ok, NeedTypes: true}}); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}
+
+func TestScopePredicates(t *testing.T) {
+	in := InScope("internal/san", "internal/des")
+	cases := map[string]bool{
+		"internal/san":          true,
+		"internal/san/fixtures": true,
+		"internal/sanlint":      false,
+		"internal/des":          true,
+		"internal":              false,
+		".":                     false,
+	}
+	for rel, want := range cases {
+		if got := in(rel); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", rel, got, want)
+		}
+		if got := NotInScope("internal/san", "internal/des")(rel); got != !want {
+			t.Errorf("NotInScope(%q) = %v, want %v", rel, got, !want)
+		}
+	}
+}
+
+func TestModulePathErrors(t *testing.T) {
+	if _, err := ModulePath(filepath.Join(t.TempDir(), "go.mod")); err == nil {
+		t.Error("missing go.mod should error")
+	}
+	root := writeTree(t, map[string]string{"go.mod": "// no module line\n"})
+	if _, err := ModulePath(filepath.Join(root, "go.mod")); err == nil {
+		t.Error("go.mod without module directive should error")
+	}
+	root2 := writeTree(t, map[string]string{"go.mod": "module  spaced/path \n"})
+	got, err := ModulePath(filepath.Join(root2, "go.mod"))
+	if err != nil || got != "spaced/path" {
+		t.Errorf("ModulePath = %q, %v; want spaced/path", got, err)
+	}
+}
+
+func TestModuleRelPath(t *testing.T) {
+	cases := []struct{ mod, imp, want string }{
+		{"vcpusim", "vcpusim/internal/san", "internal/san"},
+		{"vcpusim", "vcpusim", "."},
+		{"vcpusim", "vcpusim/internal/san [vcpusim/internal/san.test]", "internal/san"},
+		{"vcpusim", "vcpusim/internal/san_test", "internal/san"},
+		{"", "example.com/other", "example.com/other"},
+	}
+	for _, c := range cases {
+		if got := moduleRelPath(c.mod, c.imp); got != c.want {
+			t.Errorf("moduleRelPath(%q, %q) = %q, want %q", c.mod, c.imp, got, c.want)
+		}
+	}
+}
+
+// TestRunUnit drives the vet-tool unit entry point directly with a
+// handcrafted vet.cfg: diagnostics print in file:line:col form, the
+// facts file is written, exit code 2 signals findings, and VetxOnly
+// short-circuits.
+func TestRunUnit(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(src, []byte("package p\n\nfunc P() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	testSrc := filepath.Join(dir, "p_test.go")
+	if err := os.WriteFile(testSrc, []byte("package p\n\nfunc TestP() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "vet.out")
+	cfg := unitConfig{
+		ID:         "example.com/m/p",
+		Compiler:   "gc",
+		ImportPath: "example.com/m/p",
+		ModulePath: "example.com/m",
+		GoFiles:    []string{src, testSrc},
+		VetxOutput: vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Analyzer excluding tests: only P is reported.
+	var out strings.Builder
+	code, err := runUnit(cfgPath, []*Analyzer{flagFuncs(nil, false)}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2 with findings", code)
+	}
+	if got := out.String(); !strings.Contains(got, "p.go:3:1: func P") || strings.Contains(got, "TestP") {
+		t.Errorf("diagnostics = %q, want func P only (tests excluded)", got)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+
+	// Scope excludes the unit: silent, exit 0.
+	out.Reset()
+	code, err = runUnit(cfgPath, []*Analyzer{flagFuncs(InScope("q"), false)}, &out)
+	if err != nil || code != 0 || out.Len() != 0 {
+		t.Errorf("out-of-scope unit: code=%d err=%v out=%q, want silent 0", code, err, out.String())
+	}
+
+	// VetxOnly: facts written, no analysis.
+	cfg.VetxOnly = true
+	data, _ = json.Marshal(cfg)
+	os.WriteFile(cfgPath, data, 0o644)
+	out.Reset()
+	code, err = runUnit(cfgPath, []*Analyzer{flagFuncs(nil, false)}, &out)
+	if err != nil || code != 0 || out.Len() != 0 {
+		t.Errorf("VetxOnly: code=%d err=%v out=%q, want silent 0", code, err, out.String())
+	}
+}

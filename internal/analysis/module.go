@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ModuleConfig scopes a RunModule invocation to one module tree.
+type ModuleConfig struct {
+	// Root is the module root directory (the one containing go.mod).
+	Root string
+	// ModulePath is the module's import path; discovered from go.mod
+	// when empty.
+	ModulePath string
+}
+
+// RunModule walks every Go package under cfg.Root and applies each
+// analyzer to the packages its Scope admits, returning the findings
+// sorted by position. Packages no analyzer applies to are not even
+// parsed; packages only syntactic analyzers apply to are not
+// type-checked.
+func RunModule(cfg ModuleConfig, analyzers []*Analyzer) ([]Finding, error) {
+	if cfg.Root == "" {
+		return nil, fmt.Errorf("analysis: empty module root")
+	}
+	if err := Validate(analyzers); err != nil {
+		return nil, err
+	}
+	if cfg.ModulePath == "" {
+		mod, err := ModulePath(filepath.Join(cfg.Root, "go.mod"))
+		if err != nil {
+			return nil, err
+		}
+		cfg.ModulePath = mod
+	}
+	dirs, err := goDirs(cfg.Root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	ld := newLoader(fset, cfg.Root, cfg.ModulePath)
+	var findings []Finding
+	report := func(name string) func(Diagnostic) {
+		return func(d Diagnostic) {
+			findings = append(findings, Finding{
+				Analyzer: name,
+				Pos:      fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+	}
+	for _, rel := range dirs {
+		var applicable []*Analyzer
+		needTypes, needTests := false, false
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(rel) {
+				continue
+			}
+			applicable = append(applicable, a)
+			needTypes = needTypes || a.NeedTypes
+			needTests = needTests || a.IncludeTests
+		}
+		if len(applicable) == 0 {
+			continue
+		}
+
+		src, tests, err := parseDir(fset, filepath.Join(cfg.Root, filepath.FromSlash(rel)), needTests)
+		if err != nil {
+			return nil, err
+		}
+		var checked *checkedPkg
+		if needTypes {
+			checked, err = ld.check(rel, src)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range applicable {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    src,
+				Report:   report(a.Name),
+			}
+			if a.IncludeTests {
+				pass.Files = append(append([]*ast.File(nil), src...), tests...)
+			}
+			if a.NeedTypes {
+				pass.Pkg = checked.pkg
+				pass.TypesInfo = checked.info
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, rel, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ModulePath extracts the module path from a go.mod file.
+func ModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// InScope builds a Scope predicate admitting exactly the packages in or
+// under the listed module-relative directories.
+func InScope(scopes ...string) func(rel string) bool {
+	return func(rel string) bool {
+		for _, s := range scopes {
+			if rel == s || strings.HasPrefix(rel, s+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// NotInScope builds a Scope predicate admitting every package except
+// those in or under the listed directories.
+func NotInScope(scopes ...string) func(rel string) bool {
+	in := InScope(scopes...)
+	return func(rel string) bool { return !in(rel) }
+}
+
+// goDirs returns every directory under root containing .go files, as
+// sorted slash-separated paths relative to root. testdata, vendor, and
+// hidden or underscore-prefixed directories are skipped, matching the go
+// tool's conventions.
+func goDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(p))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
+			dirs = append(dirs, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	out := dirs[:0]
+	for _, d := range dirs {
+		if len(out) == 0 || out[len(out)-1] != d {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// parseDir parses every .go file of a directory in name order, split
+// into non-test and (when wanted) test files.
+func parseDir(fset *token.FileSet, dir string, withTests bool) (src, tests []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !withTests {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: %w", err)
+		}
+		if isTest {
+			tests = append(tests, f)
+		} else {
+			src = append(src, f)
+		}
+	}
+	return src, tests, nil
+}
+
+// checkedPkg is one type-checked package with the syntax and type facts
+// typed analyzers need.
+type checkedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader is a minimal module-aware types.Importer: module-internal
+// import paths resolve to directories under the root and are
+// type-checked from source; everything else is delegated to the stdlib
+// source importer. Stdlib packages that fail to load (stripped-down
+// toolchains) degrade to empty placeholder packages — downstream
+// expressions then simply have no type information, and typed analyzers
+// skip them.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	source  types.Importer
+	cache   map[string]*checkedPkg
+	stdlib  map[string]*types.Package
+}
+
+func newLoader(fset *token.FileSet, root, modPath string) *loader {
+	return &loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		source:  importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*checkedPkg),
+		stdlib:  make(map[string]*types.Package),
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(importPath string) (*types.Package, error) {
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if rel, ok := l.moduleRel(importPath); ok {
+		cp, err := l.check(rel, nil)
+		if err != nil {
+			return nil, err
+		}
+		return cp.pkg, nil
+	}
+	if p, ok := l.stdlib[importPath]; ok {
+		return p, nil
+	}
+	p, err := l.source.Import(importPath)
+	if err != nil {
+		p = types.NewPackage(importPath, path.Base(importPath))
+		p.MarkComplete()
+	}
+	l.stdlib[importPath] = p
+	return p, nil
+}
+
+// moduleRel maps a module-internal import path to its root-relative
+// directory.
+func (l *loader) moduleRel(importPath string) (string, bool) {
+	if importPath == l.modPath {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(importPath, l.modPath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// check type-checks the non-test files of one package directory,
+// reusing pre-parsed files when the caller supplies them. Type errors
+// are tolerated: the checker records what it can, and analyzers skip
+// expressions without type facts.
+func (l *loader) check(rel string, parsed []*ast.File) (*checkedPkg, error) {
+	if cp, ok := l.cache[rel]; ok {
+		return cp, nil
+	}
+	files := parsed
+	if files == nil {
+		var err error
+		files, _, err = parseDir(l.fset, filepath.Join(l.root, filepath.FromSlash(rel)), false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	importPath := l.modPath
+	if rel != "." {
+		importPath = l.modPath + "/" + rel
+	}
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // collect nothing, keep checking
+	}
+	pkg, _ := conf.Check(importPath, l.fset, files, info)
+	if pkg == nil {
+		pkg = types.NewPackage(importPath, path.Base(importPath))
+	}
+	cp := &checkedPkg{pkg: pkg, files: files, info: info}
+	l.cache[rel] = cp
+	return cp, nil
+}

@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file implements the `go vet -vettool` driver protocol with the
+// standard library only (the x/tools unitchecker is unavailable
+// offline). The go command speaks to a vet tool in three steps:
+//
+//  1. `tool -flags` — print a JSON description of the tool's flags so
+//     `go vet` can accept and forward them.
+//  2. `tool -V=full` — print a version line; its content hash becomes
+//     part of the vet action's cache key, so it must change when the
+//     tool binary changes (we hash the executable).
+//  3. `tool [flags] <unit>.cfg` — analyze one compilation unit. The
+//     .cfg file is JSON (see unitConfig) naming the unit's Go files and
+//     mapping each import to the export data the compiler already
+//     produced. The tool type-checks against that export data, runs its
+//     analyzers, writes the VetxOutput facts file (ours carry no
+//     facts), prints diagnostics to stderr as file:line:col: message,
+//     and exits 2 when it found anything.
+
+// unitConfig mirrors the vet.cfg JSON the go command writes per
+// compilation unit (cmd/go/internal/work.vetConfig).
+type unitConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the analyzers as a `go vet -vettool` or standalone single
+// checker. It interprets os.Args per the vet tool protocol and never
+// returns: use it as the entire main function of a vet tool.
+//
+// Standalone mode: `tool <module-root>` runs the module driver over the
+// tree and prints findings, exiting 1 if any — the same analyzers
+// without the go command in front.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	if err := Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON")
+	fs.Var(versionFlag{}, "V", "print version and exit")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i > 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, false, doc)
+	}
+	fs.Parse(os.Args[1:])
+
+	if *printFlags {
+		describeFlags(os.Stdout, fs)
+		os.Exit(0)
+	}
+
+	// `go vet -checkname` runs only the named analyzers; with no
+	// analyzer flag set, all run (the go command's convention).
+	any := false
+	for _, on := range enabled {
+		any = any || *on
+	}
+	if any {
+		var keep []*Analyzer
+		for _, a := range analyzers {
+			if *enabled[a.Name] {
+				keep = append(keep, a)
+			}
+		}
+		analyzers = keep
+	}
+
+	args := fs.Args()
+	switch {
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		code, err := runUnit(args[0], analyzers, os.Stderr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Exit(code)
+	case len(args) == 1:
+		findings, err := RunModule(ModuleConfig{Root: args[0]}, analyzers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+		}
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	default:
+		log.Fatalf("usage: %s [flags] <unit>.cfg (vet tool protocol) or %s <module-root>", progname, progname)
+	}
+}
+
+// describeFlags prints the tool's flags as the JSON array `go vet`
+// requests via -flags.
+func describeFlags(w io.Writer, fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Write(data)
+}
+
+// versionFlag implements -V=full: the go command hashes this line into
+// the vet cache key, so it embeds a content hash of the executable —
+// rebuilding the tool invalidates prior vet results.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	name := filepath.Base(os.Args[0])
+	name = strings.TrimSuffix(name, ".exe")
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return err
+	}
+	h := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, string(h[:12]))
+	os.Exit(0)
+	return nil
+}
+
+// runUnit analyzes one compilation unit per its vet.cfg, printing
+// diagnostics to errw. It returns the process exit code: 0 clean, 2
+// with findings (the exit status protocol of cmd/vet).
+func runUnit(cfgPath string, analyzers []*Analyzer, errw io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	if cfg.ImportPath == "" {
+		return 0, fmt.Errorf("%s: no ImportPath", cfgPath)
+	}
+
+	// The unit's facts output must exist even though our analyzers
+	// export none: the go command caches it as this vet run's result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	// Scope analyzers by the unit's module-relative directory, exactly
+	// as the module driver would. Test variants ("pkg [pkg.test]",
+	// "pkg_test") fold onto their package directory.
+	rel := moduleRelPath(cfg.ModulePath, cfg.ImportPath)
+	var applicable []*Analyzer
+	needTypes := false
+	for _, a := range analyzers {
+		if a.Scope != nil && !a.Scope(rel) {
+			continue
+		}
+		applicable = append(applicable, a)
+		needTypes = needTypes || a.NeedTypes
+	}
+	if len(applicable) == 0 {
+		return 0, nil
+	}
+
+	// Unlike the module driver, the go command folds _test.go files into
+	// the unit it hands us. Mirror the module driver's exemption: only
+	// IncludeTests analyzers see them (the map-range and immutability
+	// contracts deliberately spare test files).
+	fset := token.NewFileSet()
+	var files, srcOnly []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+		if !strings.HasSuffix(name, "_test.go") {
+			srcOnly = append(srcOnly, f)
+		}
+	}
+
+	var (
+		pkg  *types.Package
+		info *types.Info
+	)
+	if needTypes {
+		pkg, info, err = typecheckUnit(fset, files, &cfg)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+	}
+
+	var diags []Finding
+	for _, a := range applicable {
+		a := a
+		passFiles := srcOnly
+		if a.IncludeTests {
+			passFiles = files
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    passFiles,
+			Pkg:      pkg,
+			Report: func(d Diagnostic) {
+				diags = append(diags, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
+			},
+		}
+		if a.NeedTypes {
+			pass.TypesInfo = info
+		}
+		if _, err := a.Run(pass); err != nil {
+			return 0, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Offset < b.Pos.Offset
+	})
+	for _, d := range diags {
+		fmt.Fprintf(errw, "%s:%d:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// moduleRelPath maps a compilation unit's import path to its
+// module-relative directory ("." for the module root). Test-binary
+// variant suffixes and the external-test "_test" package suffix are
+// stripped so test units scope like their package.
+func moduleRelPath(modulePath, importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	importPath = strings.TrimSuffix(importPath, "_test")
+	if importPath == modulePath {
+		return "."
+	}
+	if modulePath != "" {
+		if rest, ok := strings.CutPrefix(importPath, modulePath+"/"); ok {
+			return rest
+		}
+	}
+	return importPath
+}
+
+// typecheckUnit type-checks the unit against the gc export data the go
+// command already produced for its imports (cfg.PackageFile), so no
+// source outside the unit is re-analyzed.
+func typecheckUnit(fset *token.FileSet, files []*ast.File, cfg *unitConfig) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gcImporter := importer.ForCompiler(fset, compiler, func(importPath string) (io.ReadCloser, error) {
+		// The importer asks with source-level paths; the cfg maps them
+		// to canonical package paths, then to export-data files.
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		file, ok := cfg.PackageFile[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", importPath)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			if importPath == "unsafe" {
+				return types.Unsafe, nil
+			}
+			return gcImporter.Import(importPath)
+		}),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // record what we can; the compiler already reported
+	}
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if pkg == nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

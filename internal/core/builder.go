@@ -220,6 +220,10 @@ func BuildSystem(cfg SystemConfig, sched Scheduler, src *rng.Source) (*System, e
 	// --- VCPU Scheduler sub-model (paper Figure 6) ---
 	hv := model.Sub("VCPU_Scheduler")
 	numPCPUs := hv.Place("Num_PCPUs", cfg.PCPUs)
+	// The PCPU count is read-only by construction; the declared law lets
+	// the structural analyzer verify that against the incidence matrix.
+	model.DeclareConservation("pcpu-count",
+		san.PlaceWeight{Place: numPCPUs.Name(), Weight: 1})
 	hvTick := hv.Place("HV_Tick", 1) // initial token runs the scheduler at t=0
 	sys.pcpus = san.NewExtPlace(hv, "PCPUs", func() []int {
 		pc := make([]int, cfg.PCPUs)
@@ -244,9 +248,13 @@ func BuildSystem(cfg SystemConfig, sched Scheduler, src *rng.Source) (*System, e
 	// --- Clock: fires every time unit, driving processing and the
 	// scheduling function (paper §III.B.5) ---
 	clock := hv.TimedActivity("Clock", rng.Deterministic{Value: 1})
-	clock.Link(san.LinkOutput, hvTick.Name())
+	// Counted output links: the gate marks every tick place by exactly
+	// one token per firing. Together with the instantaneous activities
+	// draining each tick place, this gives the structural analyzer a
+	// drain certificate proving the tick places bounded.
+	clock.LinkN(san.LinkOutput, hvTick.Name(), 1)
 	for _, v := range sys.vcpus {
-		clock.Link(san.LinkOutput, v.tick.Name())
+		clock.LinkN(san.LinkOutput, v.tick.Name(), 1)
 	}
 	clock.AddCase(nil, func() {
 		for _, v := range sys.vcpus {
@@ -302,9 +310,12 @@ func buildVM(sys *System, hv *san.Sub, index int, cfg VMConfig, src *rng.Source)
 
 	vm := &vmRef{index: index, syncKind: cfg.Workload.SyncKind}
 	// Join places of Table 1. Created once, shared into every sub-model
-	// that the paper lists as holding a copy.
-	vm.blocked = js.Place("Blocked", 0)
-	vm.numReady = js.Place("Num_VCPUs_ready", 0)
+	// that the paper lists as holding a copy. The gates drive both places
+	// through unquantified writes, so declared (runtime-enforced)
+	// capacities carry their boundedness certificates: Blocked is a
+	// binary barrier, Num_VCPUs_ready counts READY VCPUs of this VM.
+	vm.blocked = js.Place("Blocked", 0).SetCapacity(1)
+	vm.numReady = js.Place("Num_VCPUs_ready", 0).SetCapacity(cfg.VCPUs)
 	vm.pending = san.NewExtPlace(js, "Workload", func() pendingWorkload { return pendingWorkload{} })
 	wg.Share(vm.blocked)
 	wg.Share(vm.numReady)
@@ -329,9 +340,13 @@ func buildVM(sys *System, hv *san.Sub, index int, cfg VMConfig, src *rng.Source)
 		sub.Share(vm.numReady)
 
 		// Join places of Table 2: Schedule_In/Out shared between the
-		// VCPU sub-model and the VCPU scheduler.
-		vc.schedIn = hv.Place(fmt.Sprintf("Schedule_In_%d_%d", index+1, k+1), 0)
-		vc.schedOut = hv.Place(fmt.Sprintf("Schedule_Out_%d_%d", index+1, k+1), 0)
+		// VCPU sub-model and the VCPU scheduler. At most one notification
+		// is ever pending per VCPU: the scheduling step (or a PCPU crash
+		// eviction) raises one at a stable marking, and the VCPU's
+		// instantaneous Schedule_In/Out_evt consumes it before the next
+		// timed firing.
+		vc.schedIn = hv.Place(fmt.Sprintf("Schedule_In_%d_%d", index+1, k+1), 0).SetCapacity(1)
+		vc.schedOut = hv.Place(fmt.Sprintf("Schedule_Out_%d_%d", index+1, k+1), 0).SetCapacity(1)
 		sub.Share(vc.schedIn)
 		sub.Share(vc.schedOut)
 		vc.host = san.NewExtPlace(hv, fmt.Sprintf("VCPU_%d_%d", index+1, k+1), func() hostState {

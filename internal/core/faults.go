@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vcpusim/internal/faults"
+	"vcpusim/internal/san"
 )
 
 // faultRuntime is the degraded-mode state of a system built with a fault
@@ -150,6 +151,18 @@ func (a faultApplier) UnstallVCPU(v int) { a.sys.flt.stalled[v] = false }
 func (a faultApplier) BeginMisdecision() { a.sys.flt.misdecision = true }
 func (a faultApplier) EndMisdecision()   { a.sys.flt.misdecision = false }
 
+// ArmInstance applies the system's fault plan Disabled flags to a
+// compiled instance of its model (a no-op without a plan). Disabling
+// persists across Instance.Reset, so one call per instance suffices;
+// Instance.DisabledActivityNames then reports the dormant injectors,
+// which structural analysis excludes from its certificates.
+func (s *System) ArmInstance(in *san.Instance) error {
+	if s.inj == nil {
+		return nil
+	}
+	return s.inj.Arm(in)
+}
+
 // buildFaults composes the fault-injection submodel into the system and
 // installs the degraded-mode runtime. Called by BuildSystem after the
 // scheduling function is wired and before rewards are registered; a nil
@@ -166,6 +179,33 @@ func buildFaults(sys *System) error {
 		return fmt.Errorf("core: attaching fault plan: %w", err)
 	}
 	sys.inj = inj
+
+	// Document the crash gate's cross-submodel effects. FailPCPU runs
+	// inside Inject_<name>'s output gate and evicts whichever VCPU
+	// occupies the failed PCPU — rolling back its slot, clearing its host
+	// state and the PCPU map entry, and raising its Schedule_Out
+	// notification. The occupant is unknown statically, so every VCPU's
+	// places are documented (zero-count: the write is declared, the
+	// amount is marking-dependent). Without these links the structural
+	// link-conformance check rightly flags the eviction as an undeclared
+	// write.
+	injects := inj.InjectActivities()
+	for i := range plan.Faults {
+		if plan.Faults[i].Kind != faults.KindPCPUCrash {
+			continue
+		}
+		act := injects[i]
+		act.Link(san.LinkInput, sys.pcpus.Name())
+		act.Link(san.LinkOutput, sys.pcpus.Name())
+		for _, vc := range sys.vcpus {
+			act.Link(san.LinkInput, vc.slot.Name())
+			act.Link(san.LinkOutput, vc.slot.Name())
+			act.Link(san.LinkInput, vc.host.Name())
+			act.Link(san.LinkOutput, vc.host.Name())
+			act.Link(san.LinkOutput, vc.schedOut.Name())
+		}
+	}
+
 	flt := sys.flt
 	for _, vm := range sys.vms {
 		vm.stalled = func(id int) bool { return flt.stalled[id] }

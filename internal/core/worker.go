@@ -54,12 +54,10 @@ func NewWorker(cfg SystemConfig, factory SchedulerFactory) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	if sys.inj != nil {
-		// Honor the plan's Disabled flags once: the administrative
-		// disable persists across Reset, covering every replication.
-		if err := sys.inj.Arm(inst); err != nil {
-			return nil, err
-		}
+	// Honor the plan's Disabled flags once: the administrative disable
+	// persists across Reset, covering every replication.
+	if err := sys.ArmInstance(inst); err != nil {
+		return nil, err
 	}
 	return &Worker{sys: sys, inst: inst, factory: factory, src: src}, nil
 }

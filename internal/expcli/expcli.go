@@ -14,7 +14,6 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
-	"time"
 
 	"vcpusim/internal/experiments"
 	"vcpusim/internal/obs"
@@ -130,7 +129,7 @@ func Run(args []string, out io.Writer) (err error) {
 		{"faults", func() ([]*report.Table, error) { return one(experiments.FigureFaults(ctx, p)) }},
 	}
 
-	start := time.Now()
+	start := obs.Clock()
 	var outputs []string
 	want := strings.ToLower(*figure)
 	ran := false
@@ -195,7 +194,7 @@ func Run(args []string, out io.Writer) (err error) {
 				"grid_parallelism": p.GridParallelism,
 			},
 			Cells:  collector.Cells(),
-			WallNS: time.Since(start).Nanoseconds(),
+			WallNS: (obs.Clock() - start).Nanoseconds(),
 		}
 		for _, path := range outputs {
 			of, err := obs.HashOutput(path)

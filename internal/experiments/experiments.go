@@ -14,7 +14,6 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"time"
 
 	"vcpusim/internal/core"
 	"vcpusim/internal/fastsim"
@@ -336,12 +335,12 @@ func (p Params) runCell(ctx context.Context, cell string, cfg core.SystemConfig,
 	p.Sink.Emit(obs.Event{Kind: obs.KindCellStart, Cell: cell})
 	opts.Sink = obs.WithCell(p.Sink, cell)
 	acc := &obs.Accumulator{}
-	start := time.Now()
+	start := obs.Clock()
 	sum, err := sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, acc, opts.Sink), opts)
 	if err != nil {
 		return sum, err
 	}
-	elapsed := time.Since(start)
+	elapsed := obs.Clock() - start
 	counters := acc.Counters()
 	counters.WallNS = elapsed.Nanoseconds()
 	counters.FillRate()

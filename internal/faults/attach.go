@@ -62,9 +62,12 @@ type Injector struct {
 	down, slow []*san.Place
 	slowFactor []float64
 
-	// injectNames are the activity names of each spec's injection
-	// activity, parallel to plan.Faults, for Arm's disable pass.
+	// injectNames / injectActs are each spec's injection activity (name
+	// and handle), parallel to plan.Faults: the names drive Arm's disable
+	// pass, the handles let the embedding model document the gate's
+	// cross-submodel effects (core links the crash eviction's targets).
 	injectNames []string
+	injectActs  []*san.Activity
 
 	// lastWorkLost carries FailPCPU's return from the inject output gate
 	// to the work-lost impulse reward that fires right after it.
@@ -167,6 +170,7 @@ func Attach(sub *san.Sub, plan *Plan, npcpus, nvcpus int, applier Applier) (*Inj
 			})
 		}
 		inj.injectNames = append(inj.injectNames, inject.Name())
+		inj.injectActs = append(inj.injectActs, inject)
 
 		if s.Duration == nil {
 			continue // permanent fault: the marker is never cleared
@@ -217,9 +221,12 @@ func Attach(sub *san.Sub, plan *Plan, npcpus, nvcpus int, applier Applier) (*Inj
 	return inj, nil
 }
 
-// newMarker creates a fault marker place and records it.
+// newMarker creates a fault marker place and records it. Markers are
+// binary — the inject gate sets one token, recovery consumes it, and the
+// marker-clear predicate keeps repeat injections out while it is set —
+// so the declared capacity doubles as the structural bound certificate.
 func (inj *Injector) newMarker(sub *san.Sub, name string) *san.Place {
-	p := sub.Place(name, 0)
+	p := sub.Place(name, 0).SetCapacity(1)
 	inj.markerNames = append(inj.markerNames, p.Name())
 	inj.markerPlaces = append(inj.markerPlaces, p)
 	return p
@@ -245,6 +252,15 @@ func (inj *Injector) SetSink(s obs.Sink) { inj.sink = s }
 // marker places, for reward Refs documentation.
 func (inj *Injector) MarkerNames() []string {
 	return append([]string(nil), inj.markerNames...)
+}
+
+// InjectActivities returns each spec's injection activity, parallel to
+// the plan's Faults slice. The embedding model uses the handles to
+// document effects its Applier implementation performs from the inject
+// output gate (for example the crash eviction's Schedule_Out raise), so
+// structural analysis and the link-conformance check see them.
+func (inj *Injector) InjectActivities() []*san.Activity {
+	return append([]*san.Activity(nil), inj.injectActs...)
 }
 
 // Arm applies the plan's Disabled flags to a compiled instance via the

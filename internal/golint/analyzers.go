@@ -1,0 +1,263 @@
+package golint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+
+	"vcpusim/internal/analysis"
+)
+
+// Analyzer constructors. Each rule is one analysis.Analyzer so the same
+// implementation runs under the module driver (golint.Run, `vcpusim
+// vet`) and the `go vet -vettool` unitchecker (cmd/vet). The scope
+// predicate is injected because golint.Run derives it from a Config
+// while the vet tool uses the repository defaults.
+
+// NewGlobalRand returns the math/rand import ban. exempt admits the
+// packages allowed to import it (the seeded-stream implementation).
+func NewGlobalRand(exempt func(rel string) bool) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:         RuleGlobalRand,
+		Doc:          "forbid math/rand imports; deterministic code draws from vcpusim/internal/rng",
+		Scope:        func(rel string) bool { return !exempt(rel) },
+		IncludeTests: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, f := range pass.Files {
+				for _, imp := range f.Imports {
+					p := importString(imp)
+					if p == "math/rand" || p == "math/rand/v2" {
+						pass.Reportf(imp.Pos(), "imports %q; deterministic simulation code must draw from the seeded streams in vcpusim/internal/rng", p)
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+}
+
+// clockReaders are the time-package functions that read the wall clock.
+var clockReaders = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// reportClockReads reports wall-clock reads in one file with the given
+// remedy appended. The check is syntactic: any selector
+// <timePkg>.Now/Since/Until where <timePkg> is the file's local name for
+// the "time" import.
+func reportClockReads(pass *analysis.Pass, remedy string) {
+	for _, f := range pass.Files {
+		names := localPackageNames(f, "time")
+		if len(names) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !clockReaders[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !names[id.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "calls time.%s; %s", sel.Sel.Name, remedy)
+			return true
+		})
+	}
+}
+
+// NewWallClock returns the simulation-scope wall-clock ban: inside the
+// simulator, the only clock is model time.
+func NewWallClock(scope func(rel string) bool) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:         RuleWallClock,
+		Doc:          "forbid wall-clock reads in simulation packages; use model time (the kernel clock)",
+		Scope:        scope,
+		IncludeTests: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			reportClockReads(pass, "simulation code must use model time (the kernel clock), never the wall clock")
+			return nil, nil
+		},
+	}
+}
+
+// NewObsClock returns the repository-wide wall-clock rule for
+// everything outside the simulation scope: tooling that legitimately
+// measures wall time (experiment drivers, CLIs) must route through
+// vcpusim/internal/obs — obs.Clock is monotonic and the single
+// sanctioned clock — so simulation packages can be audited by the
+// stricter wall-clock rule and everything else stays greppably uniform.
+// scope admits the packages the rule applies to (everything except
+// internal/obs itself and the wall-clock rule's scope).
+func NewObsClock(scope func(rel string) bool) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:         RuleObsClock,
+		Doc:          "forbid direct time.Now outside internal/obs; wall time flows through obs.Clock",
+		Scope:        scope,
+		IncludeTests: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			reportClockReads(pass, "wall time outside the simulator flows through vcpusim/internal/obs (obs.Clock), keeping direct clock reads confined to one package")
+			return nil, nil
+		},
+	}
+}
+
+// NewMapRange returns the map-iteration ban for simulation hot paths:
+// Go randomizes map order, so a map range can reorder events or
+// floating-point accumulation between runs.
+func NewMapRange(scope func(rel string) bool) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      RuleMapRange,
+		Doc:       "forbid range over maps on simulation hot paths; iteration order is randomized",
+		Scope:     scope,
+		NeedTypes: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					rs, ok := n.(*ast.RangeStmt)
+					if !ok {
+						return true
+					}
+					// Range expressions with unknown types (a dependency
+					// failed to type-check) are skipped, not guessed at.
+					t := pass.TypesInfo.TypeOf(rs.X)
+					if t == nil {
+						return true
+					}
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(rs.Pos(), "ranges over %s; map iteration order is randomized — iterate a sorted or insertion-ordered slice instead", t)
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+// sanMutationAllowed are the functions permitted to write san.Program
+// fields: Compile constructs the program, and activityRef builds the
+// lazy name index behind a sync.Once.
+var sanMutationAllowed = map[string]bool{"Compile": true, "activityRef": true}
+
+// NewSanImmutable returns the Program-immutability rule: san.Program is
+// documented as immutable after Compile (instances share it across
+// replications and workers), so no function outside the allowlist may
+// assign to a Program field. The check is type-based: any assignment or
+// ++/-- whose target is a selector on a Program-typed expression.
+func NewSanImmutable(scope func(rel string) bool) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      RuleSanImmutable,
+		Doc:       "forbid san.Program field writes outside Compile/activityRef; programs are immutable once compiled",
+		Scope:     scope,
+		NeedTypes: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			report := func(fn string, e ast.Expr) {
+				if sel, name, ok := programField(pass.TypesInfo, e); ok {
+					pass.Reportf(sel, "%s writes Program.%s; san.Program is immutable after Compile — move the write into Compile or keep per-run state on the Instance", fn, name)
+				}
+			}
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil || sanMutationAllowed[fd.Name.Name] {
+						continue
+					}
+					fn := fd.Name.Name
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						switch st := n.(type) {
+						case *ast.AssignStmt:
+							if st.Tok == token.DEFINE {
+								return true
+							}
+							for _, lhs := range st.Lhs {
+								report(fn, lhs)
+							}
+						case *ast.IncDecStmt:
+							report(fn, st.X)
+						}
+						return true
+					})
+				}
+			}
+			return nil, nil
+		},
+	}
+}
+
+// programField reports whether e is a field selector on a Program-typed
+// expression (possibly through index or paren wrappers), returning the
+// selector position and field name. It does not descend past a selector
+// on another type: `p.model.foo = x` mutates the Model, not the
+// Program.
+func programField(info *types.Info, e ast.Expr) (token.Pos, string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if t := info.TypeOf(x.X); t != nil && isProgramType(t) {
+				return x.Sel.Pos(), x.Sel.Name, true
+			}
+			return 0, "", false
+		default:
+			return 0, "", false
+		}
+	}
+}
+
+// isProgramType reports whether t is san.Program or *san.Program.
+func isProgramType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != "Program" {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "vcpusim/internal/san" || strings.HasSuffix(p, "/internal/san")
+}
+
+// Analyzers returns the full determinism suite with the repository's
+// default scopes, for the `go vet -vettool` driver (cmd/vet). The
+// scopes are module-relative directories, so they apply identically
+// under the module driver and the go command.
+func Analyzers() []*analysis.Analyzer {
+	cfg := DefaultConfig("")
+	return cfg.analyzers()
+}
+
+// localPackageNames maps the identifiers under which importPath is
+// referable in the file (normally the package name, or the alias).
+func localPackageNames(f *ast.File, importPath string) map[string]bool {
+	names := make(map[string]bool)
+	for _, imp := range f.Imports {
+		if importString(imp) != importPath {
+			continue
+		}
+		switch {
+		case imp.Name == nil:
+			names[path.Base(importPath)] = true
+		case imp.Name.Name == "_" || imp.Name.Name == ".":
+			// Blank imports expose nothing; dot imports of "time" do not
+			// occur in this codebase and would need full type info.
+		default:
+			names[imp.Name.Name] = true
+		}
+	}
+	return names
+}
+
+// importString unquotes an import path literal.
+func importString(imp *ast.ImportSpec) string {
+	return strings.Trim(imp.Path.Value, `"`)
+}

@@ -1,6 +1,6 @@
 // Package golint enforces the simulator's determinism contract on its own
 // Go source. Reproducibility is a core claim of the framework — every
-// replication is a pure function of its seed — and three source-level
+// replication is a pure function of its seed — and these source-level
 // patterns silently break it:
 //
 //   - math/rand: the global source (and ad-hoc local sources) bypass the
@@ -9,35 +9,36 @@
 //     the exemption keeps the rule honest if it ever needs a reference
 //     implementation for tests).
 //   - time.Now / time.Since / time.Until: wall-clock reads inside the
-//     simulation packages leak host timing into model behavior.
+//     simulation packages leak host timing into model behavior
+//     (wall-clock); outside them, direct reads bypass the single
+//     sanctioned clock, obs.Clock (obs-clock).
 //   - range over a map in non-test simulation code: Go randomizes map
 //     iteration order, so any map range on a hot path can reorder events,
 //     scheduling decisions, or floating-point accumulation between runs.
+//   - writes to san.Program fields after Compile: the compiled program is
+//     shared by every Instance and replication worker; mutating it
+//     races and breaks the compile-once contract (san-immutable).
 //
-// The analyzers are stdlib-only (go/ast, go/parser, go/types). The first
-// two rules are syntactic and need no type information; the map-range rule
-// type-checks each scoped package with a minimal module-aware importer so
-// it can tell maps from slices. The checks are deliberately conservative:
-// an identifier named after the time package that actually refers to a
-// shadowing local is still reported, because shadowing the time package in
-// simulation code is itself worth flagging.
+// Each rule is an internal/analysis analyzer, so the identical checks
+// run three ways: through this package's Run facade (the `vcpusim vet`
+// source lint), through `go vet -vettool=<cmd/vet binary> ./...` (the go
+// command's package graph and caching), and as a standalone single
+// checker (`vet <module-root>`). The implementation is stdlib-only
+// (go/ast, go/parser, go/types). The checks are deliberately
+// conservative: an identifier named after the time package that actually
+// refers to a shadowing local is still reported, because shadowing the
+// time package in simulation code is itself worth flagging.
 package golint
 
 import (
 	"fmt"
-	"go/ast"
-	"go/importer"
-	"go/parser"
 	"go/token"
-	"go/types"
-	"os"
-	"path"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"vcpusim/internal/analysis"
 )
 
-// Rule identifiers, one per determinism invariant.
+// Rule identifiers, one per determinism invariant. Each is also the
+// name of the analyzer enforcing it.
 const (
 	// RuleGlobalRand flags imports of math/rand (v1 or v2) outside the
 	// exempted packages.
@@ -48,6 +49,13 @@ const (
 	// RuleMapRange flags range statements over maps in non-test files of
 	// the simulation packages.
 	RuleMapRange = "map-range"
+	// RuleObsClock flags wall-clock reads everywhere else (outside the
+	// simulation scope and internal/obs): wall time flows through
+	// obs.Clock.
+	RuleObsClock = "obs-clock"
+	// RuleSanImmutable flags writes to san.Program fields outside the
+	// compile path: programs are immutable once compiled.
+	RuleSanImmutable = "san-immutable"
 )
 
 // Finding is one determinism-contract violation.
@@ -76,19 +84,27 @@ type Config struct {
 	// whose packages may import math/rand.
 	RandExempt []string
 	// ClockScope lists the directories in which wall-clock reads are
-	// forbidden.
+	// forbidden outright (the simulation packages).
 	ClockScope []string
 	// MapRangeScope lists the directories in which map ranges are
 	// forbidden in non-test files.
 	MapRangeScope []string
+	// ObsClockExempt lists the directories exempt from the obs-clock
+	// rule (internal/obs itself; ClockScope is always exempt since the
+	// stricter wall-clock rule owns it).
+	ObsClockExempt []string
+	// SanScope lists the directories the san-immutable rule applies to.
+	SanScope []string
 }
 
 // DefaultConfig returns the vcpusim determinism contract: math/rand is
-// forbidden everywhere except internal/rng; wall-clock reads are forbidden
-// in all simulation packages including the replication controller; map
-// ranges are forbidden on the simulation hot paths. internal/sim is
-// excluded from the map-range scope because its map iteration feeds only
-// order-independent per-metric aggregation, never event ordering.
+// forbidden everywhere except internal/rng; wall-clock reads are
+// forbidden in all simulation packages including the replication
+// controller, and must route through obs.Clock everywhere else; map
+// ranges are forbidden on the simulation hot paths; san.Program is
+// immutable after Compile. internal/sim is excluded from the map-range
+// scope because its map iteration feeds only order-independent
+// per-metric aggregation, never event ordering.
 func DefaultConfig(root string) Config {
 	return Config{
 		Root:       root,
@@ -101,6 +117,19 @@ func DefaultConfig(root string) Config {
 			"internal/san", "internal/des", "internal/core",
 			"internal/sched", "internal/fastsim",
 		},
+		ObsClockExempt: []string{"internal/obs"},
+		SanScope:       []string{"internal/san"},
+	}
+}
+
+// analyzers instantiates the rule set with the config's scopes.
+func (cfg Config) analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NewGlobalRand(analysis.InScope(cfg.RandExempt...)),
+		NewWallClock(analysis.InScope(cfg.ClockScope...)),
+		NewMapRange(analysis.InScope(cfg.MapRangeScope...)),
+		NewObsClock(analysis.NotInScope(append(append([]string(nil), cfg.ObsClockExempt...), cfg.ClockScope...)...)),
+		NewSanImmutable(analysis.InScope(cfg.SanScope...)),
 	}
 }
 
@@ -111,362 +140,16 @@ func Run(cfg Config) ([]Finding, error) {
 	if cfg.Root == "" {
 		return nil, fmt.Errorf("golint: empty root")
 	}
-	if cfg.ModulePath == "" {
-		mod, err := modulePath(filepath.Join(cfg.Root, "go.mod"))
-		if err != nil {
-			return nil, err
-		}
-		cfg.ModulePath = mod
-	}
-	dirs, err := goDirs(cfg.Root)
+	raw, err := analysis.RunModule(analysis.ModuleConfig{
+		Root:       cfg.Root,
+		ModulePath: cfg.ModulePath,
+	}, cfg.analyzers())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("golint: %w", err)
 	}
-
-	fset := token.NewFileSet()
-	ld := newLoader(fset, cfg.Root, cfg.ModulePath)
 	var findings []Finding
-	for _, rel := range dirs {
-		files, err := parseDir(fset, filepath.Join(cfg.Root, filepath.FromSlash(rel)))
-		if err != nil {
-			return nil, err
-		}
-		exempt := inScope(rel, cfg.RandExempt)
-		for _, f := range files {
-			if !exempt {
-				findings = append(findings, randFindings(fset, f)...)
-			}
-			if inScope(rel, cfg.ClockScope) {
-				findings = append(findings, clockFindings(fset, f)...)
-			}
-		}
-		if inScope(rel, cfg.MapRangeScope) {
-			fs, err := ld.checkScoped(rel)
-			if err != nil {
-				return nil, err
-			}
-			findings = append(findings, mapRangeFindings(fset, fs.files, fs.info)...)
-		}
+	for _, f := range raw {
+		findings = append(findings, Finding{Pos: f.Pos, Rule: f.Analyzer, Message: f.Message})
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Rule < b.Rule
-	})
 	return findings, nil
-}
-
-// randFindings reports math/rand imports in one file.
-func randFindings(fset *token.FileSet, f *ast.File) []Finding {
-	var out []Finding
-	for _, imp := range f.Imports {
-		p := importString(imp)
-		if p == "math/rand" || p == "math/rand/v2" {
-			out = append(out, Finding{
-				Pos:     fset.Position(imp.Pos()),
-				Rule:    RuleGlobalRand,
-				Message: fmt.Sprintf("imports %q; deterministic simulation code must draw from the seeded streams in vcpusim/internal/rng", p),
-			})
-		}
-	}
-	return out
-}
-
-// clockReaders are the time-package functions that read the wall clock.
-var clockReaders = map[string]bool{"Now": true, "Since": true, "Until": true}
-
-// clockFindings reports wall-clock reads in one file. The check is
-// syntactic: any selector <timePkg>.Now/Since/Until where <timePkg> is the
-// file's local name for the "time" import.
-func clockFindings(fset *token.FileSet, f *ast.File) []Finding {
-	names := localPackageNames(f, "time")
-	if len(names) == 0 {
-		return nil
-	}
-	var out []Finding
-	ast.Inspect(f, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || !clockReaders[sel.Sel.Name] {
-			return true
-		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok || !names[id.Name] {
-			return true
-		}
-		out = append(out, Finding{
-			Pos:     fset.Position(sel.Pos()),
-			Rule:    RuleWallClock,
-			Message: fmt.Sprintf("calls time.%s; simulation code must use model time (the kernel clock), never the wall clock", sel.Sel.Name),
-		})
-		return true
-	})
-	return out
-}
-
-// mapRangeFindings reports range statements whose operand is a map. Range
-// expressions with unknown or invalid types (e.g. when a dependency failed
-// to type-check) are skipped rather than guessed at.
-func mapRangeFindings(fset *token.FileSet, files []*ast.File, info *types.Info) []Finding {
-	var out []Finding
-	for _, f := range files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			rs, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
-			}
-			t := info.TypeOf(rs.X)
-			if t == nil {
-				return true
-			}
-			if _, isMap := t.Underlying().(*types.Map); isMap {
-				out = append(out, Finding{
-					Pos:     fset.Position(rs.Pos()),
-					Rule:    RuleMapRange,
-					Message: fmt.Sprintf("ranges over %s; map iteration order is randomized — iterate a sorted or insertion-ordered slice instead", t),
-				})
-			}
-			return true
-		})
-	}
-	return out
-}
-
-// localPackageNames maps the identifiers under which importPath is
-// referable in the file (normally the package name, or the alias).
-func localPackageNames(f *ast.File, importPath string) map[string]bool {
-	names := make(map[string]bool)
-	for _, imp := range f.Imports {
-		if importString(imp) != importPath {
-			continue
-		}
-		switch {
-		case imp.Name == nil:
-			names[path.Base(importPath)] = true
-		case imp.Name.Name == "_" || imp.Name.Name == ".":
-			// Blank imports expose nothing; dot imports of "time" do not
-			// occur in this codebase and would need full type info.
-		default:
-			names[imp.Name.Name] = true
-		}
-	}
-	return names
-}
-
-// importString unquotes an import path literal.
-func importString(imp *ast.ImportSpec) string {
-	return strings.Trim(imp.Path.Value, `"`)
-}
-
-// modulePath extracts the module path from a go.mod file.
-func modulePath(gomod string) (string, error) {
-	data, err := os.ReadFile(gomod)
-	if err != nil {
-		return "", fmt.Errorf("golint: %w", err)
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if rest, ok := strings.CutPrefix(line, "module "); ok {
-			return strings.TrimSpace(rest), nil
-		}
-	}
-	return "", fmt.Errorf("golint: no module directive in %s", gomod)
-}
-
-// goDirs returns every directory under root containing .go files, as
-// sorted slash-separated paths relative to root. testdata, vendor, and
-// hidden or underscore-prefixed directories are skipped, matching the go
-// tool's conventions.
-func goDirs(root string) ([]string, error) {
-	var dirs []string
-	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if p != root && (name == "testdata" || name == "vendor" ||
-				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(d.Name(), ".go") {
-			return nil
-		}
-		rel, err := filepath.Rel(root, filepath.Dir(p))
-		if err != nil {
-			return err
-		}
-		rel = filepath.ToSlash(rel)
-		if len(dirs) == 0 || dirs[len(dirs)-1] != rel {
-			dirs = append(dirs, rel)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	sort.Strings(dirs)
-	// WalkDir visits lexically, but the dedup above only catches runs;
-	// compact again after sorting.
-	out := dirs[:0]
-	for _, d := range dirs {
-		if len(out) == 0 || out[len(out)-1] != d {
-			out = append(out, d)
-		}
-	}
-	return out, nil
-}
-
-// inScope reports whether rel (slash-separated, relative to the module
-// root) is one of the scope directories or nested under one.
-func inScope(rel string, scopes []string) bool {
-	for _, s := range scopes {
-		if rel == s || strings.HasPrefix(rel, s+"/") {
-			return true
-		}
-	}
-	return false
-}
-
-// parseDir parses every .go file of a directory in name order.
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
-		if err != nil {
-			return nil, fmt.Errorf("golint: %w", err)
-		}
-		files = append(files, f)
-	}
-	return files, nil
-}
-
-// checkedPkg is one type-checked package with the syntax and type facts
-// the map-range rule needs.
-type checkedPkg struct {
-	pkg   *types.Package
-	files []*ast.File
-	info  *types.Info
-}
-
-// loader is a minimal module-aware types.Importer: module-internal import
-// paths resolve to directories under the root and are type-checked from
-// source; everything else is delegated to the stdlib source importer.
-// Stdlib packages that fail to load (stripped-down toolchains) degrade to
-// empty placeholder packages — downstream expressions then simply have no
-// type information, and the map-range rule skips them.
-type loader struct {
-	fset    *token.FileSet
-	root    string
-	modPath string
-	source  types.Importer
-	cache   map[string]*checkedPkg
-	stdlib  map[string]*types.Package
-}
-
-func newLoader(fset *token.FileSet, root, modPath string) *loader {
-	return &loader{
-		fset:    fset,
-		root:    root,
-		modPath: modPath,
-		source:  importer.ForCompiler(fset, "source", nil),
-		cache:   make(map[string]*checkedPkg),
-		stdlib:  make(map[string]*types.Package),
-	}
-}
-
-// Import implements types.Importer.
-func (l *loader) Import(importPath string) (*types.Package, error) {
-	if importPath == "unsafe" {
-		return types.Unsafe, nil
-	}
-	if rel, ok := l.moduleRel(importPath); ok {
-		cp, err := l.check(rel, importPath)
-		if err != nil {
-			return nil, err
-		}
-		return cp.pkg, nil
-	}
-	if p, ok := l.stdlib[importPath]; ok {
-		return p, nil
-	}
-	p, err := l.source.Import(importPath)
-	if err != nil {
-		p = types.NewPackage(importPath, path.Base(importPath))
-		p.MarkComplete()
-	}
-	l.stdlib[importPath] = p
-	return p, nil
-}
-
-// moduleRel maps a module-internal import path to its root-relative
-// directory.
-func (l *loader) moduleRel(importPath string) (string, bool) {
-	if importPath == l.modPath {
-		return ".", true
-	}
-	if rest, ok := strings.CutPrefix(importPath, l.modPath+"/"); ok {
-		return rest, true
-	}
-	return "", false
-}
-
-// checkScoped type-checks the package in the given root-relative directory
-// and returns its syntax and type info.
-func (l *loader) checkScoped(rel string) (*checkedPkg, error) {
-	return l.check(rel, l.modPath+"/"+rel)
-}
-
-// check parses and type-checks the non-test files of one package
-// directory. Type errors are tolerated: the checker records what it can,
-// and rules skip expressions without type facts.
-func (l *loader) check(rel, importPath string) (*checkedPkg, error) {
-	if cp, ok := l.cache[rel]; ok {
-		return cp, nil
-	}
-	dir := filepath.Join(l.root, filepath.FromSlash(rel))
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
-		if err != nil {
-			return nil, fmt.Errorf("golint: %w", err)
-		}
-		files = append(files, f)
-	}
-	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
-	conf := types.Config{
-		Importer: l,
-		Error:    func(error) {}, // collect nothing, keep checking
-	}
-	pkg, _ := conf.Check(importPath, l.fset, files, info)
-	if pkg == nil {
-		pkg = types.NewPackage(importPath, path.Base(importPath))
-	}
-	cp := &checkedPkg{pkg: pkg, files: files, info: info}
-	l.cache[rel] = cp
-	return cp, nil
 }

@@ -1,25 +1,40 @@
 package golint
 
 import (
-	"go/ast"
-	"go/parser"
 	"go/token"
-	"go/types"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
 
-// parseSrc parses one synthetic file.
-func parseSrc(t *testing.T, src string) (*token.FileSet, *ast.File) {
+// writeTree materializes a file tree under a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
 	t.Helper()
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "synthetic.go", src, parser.SkipObjectResolution)
+	root := t.TempDir()
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// runOn lints a synthetic module tree with the default config.
+func runOn(t *testing.T, files map[string]string) []Finding {
+	t.Helper()
+	if _, ok := files["go.mod"]; !ok {
+		files["go.mod"] = "module example.com/fake\n\ngo 1.22\n"
+	}
+	findings, err := Run(DefaultConfig(writeTree(t, files)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fset, f
+	return findings
 }
 
 func rules(fs []Finding) []string {
@@ -31,7 +46,8 @@ func rules(fs []Finding) []string {
 }
 
 func TestRandFindings(t *testing.T) {
-	fset, f := parseSrc(t, `package p
+	got := runOn(t, map[string]string{
+		"internal/x/x.go": `package x
 
 import (
 	"math/rand"
@@ -42,8 +58,8 @@ import (
 var _ = rand.Int
 var _ = mrand.Int
 var _ = crand.Reader
-`)
-	got := randFindings(fset, f)
+`,
+	})
 	if len(got) != 2 {
 		t.Fatalf("findings = %v, want 2 (v1 and v2 imports, not crypto/rand)", got)
 	}
@@ -58,7 +74,8 @@ var _ = crand.Reader
 }
 
 func TestClockFindings(t *testing.T) {
-	fset, f := parseSrc(t, `package p
+	got := runOn(t, map[string]string{
+		"internal/des/clock.go": `package des
 
 import (
 	clock "time"
@@ -70,8 +87,8 @@ var b = clock.Since(a)
 var c = time.Until(a)
 var d time.Duration // type reference, not a clock read
 var e = time.Unix(0, 0) // deterministic constructor, allowed
-`)
-	got := clockFindings(fset, f)
+`,
+	})
 	if len(got) != 3 {
 		t.Fatalf("findings = %v, want 3 (Now, aliased Since, Until)", got)
 	}
@@ -87,32 +104,52 @@ var e = time.Unix(0, 0) // deterministic constructor, allowed
 }
 
 func TestClockFindingsNoTimeImport(t *testing.T) {
-	fset, f := parseSrc(t, `package p
+	got := runOn(t, map[string]string{
+		"internal/des/clock.go": `package des
 
 type time struct{}
 
 func (time) Now() int { return 0 }
 
 var x = time{}.Now() // local type named time, no "time" import
-`)
-	if got := clockFindings(fset, f); len(got) != 0 {
+`,
+	})
+	if len(got) != 0 {
 		t.Fatalf("findings = %v, want none without a time import", got)
 	}
 }
 
-// typeCheck type-checks an import-free synthetic file.
-func typeCheck(t *testing.T, fset *token.FileSet, f *ast.File) *types.Info {
-	t.Helper()
-	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
-	conf := types.Config{Error: func(error) {}}
-	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
-		t.Fatal(err)
+// TestObsClockFindings: outside the simulation scope, direct wall-clock
+// reads are flagged by the obs-clock rule (route through obs.Clock);
+// internal/obs itself is exempt.
+func TestObsClockFindings(t *testing.T) {
+	got := runOn(t, map[string]string{
+		"cmd/tool/main.go": `package main
+
+import "time"
+
+func main() { _ = time.Now() }
+`,
+		"internal/obs/obs.go": `package obs
+
+import "time"
+
+func Clock() time.Duration { return time.Since(start) }
+
+var start = time.Now()
+`,
+	})
+	if len(got) != 1 || got[0].Rule != RuleObsClock {
+		t.Fatalf("findings = %v, want exactly one obs-clock (cmd flagged, obs exempt)", got)
 	}
-	return info
+	if !strings.Contains(got[0].Message, "obs.Clock") {
+		t.Errorf("message should point at obs.Clock: %q", got[0].Message)
+	}
 }
 
 func TestMapRangeFindings(t *testing.T) {
-	fset, f := parseSrc(t, `package p
+	got := runOn(t, map[string]string{
+		"internal/san/maps.go": `package san
 
 type registry map[string]int
 
@@ -136,9 +173,8 @@ func g(m map[int]bool, r registry, s []int, str string, ch chan int) int {
 	}
 	return total
 }
-`)
-	info := typeCheck(t, fset, f)
-	got := mapRangeFindings(fset, []*ast.File{f}, info)
+`,
+	})
 	if len(got) != 2 {
 		t.Fatalf("findings = %v, want 2 (plain and named map)", got)
 	}
@@ -153,37 +189,83 @@ func g(m map[int]bool, r registry, s []int, str string, ch chan int) int {
 }
 
 func TestMapRangeSkipsUnknownTypes(t *testing.T) {
-	fset, f := parseSrc(t, `package p
+	got := runOn(t, map[string]string{
+		"internal/san/oops.go": `package san
 
 func g() {
 	for k := range undefinedThing { // no type facts: skipped, not guessed
 		_ = k
 	}
 }
-`)
-	// Type-check with errors suppressed; the range expression gets no type.
-	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
-	conf := types.Config{Error: func(error) {}}
-	conf.Check("p", fset, []*ast.File{f}, info)
-	if got := mapRangeFindings(fset, []*ast.File{f}, info); len(got) != 0 {
+`,
+	})
+	if len(got) != 0 {
 		t.Fatalf("findings = %v, want none for untypeable operand", got)
 	}
 }
 
-func TestInScope(t *testing.T) {
-	scopes := []string{"internal/san", "internal/des"}
-	cases := map[string]bool{
-		"internal/san":          true,
-		"internal/san/fixtures": true,
-		"internal/sanlint":      false,
-		"internal/des":          true,
-		"internal":              false,
-		".":                     false,
-	}
-	for rel, want := range cases {
-		if got := inScope(rel, scopes); got != want {
-			t.Errorf("inScope(%q) = %v, want %v", rel, got, want)
+// TestSanImmutableFindings: writes to Program fields outside the
+// allowlist are flagged — including through index expressions and via
+// value receivers — while Compile, activityRef, writes through
+// non-Program selectors, and local variables stay legal.
+func TestSanImmutableFindings(t *testing.T) {
+	got := runOn(t, map[string]string{
+		"internal/san/prog.go": `package san
+
+type Model struct{ name string }
+
+type Program struct {
+	model *Model
+	timed []int
+	index map[string]int
+	n     int
+}
+
+func Compile(m *Model) *Program {
+	p := &Program{model: m}
+	p.timed = append(p.timed, 1) // allowlisted: construction
+	return p
+}
+
+func (p *Program) activityRef(name string) int {
+	p.index = map[string]int{} // allowlisted: lazy index
+	p.index[name] = 1
+	return p.index[name]
+}
+
+func (p *Program) Reset() {
+	p.timed = nil        // flagged: field write
+	p.index["x"] = 2     // flagged: write through field
+	p.n++                // flagged: inc/dec
+	p.model.name = "new" // not a Program field (mutates the Model)
+	local := p.n
+	local++ // local: fine
+	_ = local
+}
+
+func scrub(p *Program) {
+	p.n = 0 // flagged: free function too
+}
+`,
+	})
+	var fields []string
+	for _, fd := range got {
+		if fd.Rule != RuleSanImmutable {
+			t.Fatalf("rule = %q, want %q: %v", fd.Rule, RuleSanImmutable, fd)
 		}
+		if !strings.Contains(fd.Message, "immutable after Compile") {
+			t.Errorf("message should state the contract: %q", fd.Message)
+		}
+		fields = append(fields, fd.Message[:strings.Index(fd.Message, ";")])
+	}
+	want := []string{
+		"Reset writes Program.timed",
+		"Reset writes Program.index",
+		"Reset writes Program.n",
+		"scrub writes Program.n",
+	}
+	if strings.Join(fields, "|") != strings.Join(want, "|") {
+		t.Errorf("flagged = %v, want %v", fields, want)
 	}
 }
 
@@ -199,29 +281,13 @@ func TestFindingString(t *testing.T) {
 	}
 }
 
-// writeTree materializes a file tree under a temp dir.
-func writeTree(t *testing.T, files map[string]string) string {
-	t.Helper()
-	root := t.TempDir()
-	for rel, content := range files {
-		p := filepath.Join(root, filepath.FromSlash(rel))
-		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	return root
-}
-
-// TestRunSeededDefects runs the full analyzer over a synthetic module with
-// one violation of every rule, plus exempted and out-of-scope code that
-// must stay silent.
+// TestRunSeededDefects runs the full analyzer suite over a synthetic
+// module with violations of every rule, plus exempted and out-of-scope
+// code that must stay silent.
 func TestRunSeededDefects(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"go.mod": "module example.com/fake\n\ngo 1.22\n",
-		// In scope for every rule: all three must fire.
+		// In scope for rand, wall-clock, and map-range: all three fire.
 		"internal/san/bad.go": `package san
 
 import (
@@ -259,8 +325,9 @@ import "math/rand"
 
 func Draw() int { return rand.Int() }
 `,
-		// Outside every scope: wall clock and map ranges are allowed,
-		// math/rand is not.
+		// Outside the simulation scope: map ranges are allowed, but
+		// math/rand is still banned and wall time must route through
+		// obs.Clock.
 		"cmd/tool/main.go": `package main
 
 import (
@@ -292,7 +359,7 @@ func main() {
 	want := map[string][]string{
 		"internal/san/bad.go":      {RuleGlobalRand, RuleWallClock, RuleMapRange},
 		"internal/san/bad_test.go": {RuleGlobalRand},
-		"cmd/tool/main.go":         {RuleGlobalRand},
+		"cmd/tool/main.go":         {RuleGlobalRand, RuleObsClock},
 	}
 	for file, rulesWant := range want {
 		got := byFile[file]
@@ -303,13 +370,13 @@ func main() {
 	if got := byFile["internal/rng/rng.go"]; len(got) != 0 {
 		t.Errorf("exempted internal/rng flagged: %v", got)
 	}
-	if len(findings) != 5 {
-		t.Errorf("total findings = %d, want 5:\n%s", len(findings), renderFindings(findings))
+	if len(findings) != 6 {
+		t.Errorf("total findings = %d, want 6:\n%s", len(findings), renderFindings(findings))
 	}
 }
 
 // TestRepoClean is the contract itself: the simulator's own source must
-// produce zero findings.
+// produce zero findings across all five rules.
 func TestRepoClean(t *testing.T) {
 	findings, err := Run(DefaultConfig(filepath.Join("..", "..")))
 	if err != nil {
@@ -320,18 +387,21 @@ func TestRepoClean(t *testing.T) {
 	}
 }
 
-func TestModulePathErrors(t *testing.T) {
-	if _, err := modulePath(filepath.Join(t.TempDir(), "go.mod")); err == nil {
-		t.Error("missing go.mod should error")
+// TestAnalyzers: the vet-tool analyzer set is the default config's, with
+// valid unique names.
+func TestAnalyzers(t *testing.T) {
+	as := Analyzers()
+	names := map[string]bool{}
+	for _, a := range as {
+		names[a.Name] = true
 	}
-	root := writeTree(t, map[string]string{"go.mod": "// no module line\n"})
-	if _, err := modulePath(filepath.Join(root, "go.mod")); err == nil {
-		t.Error("go.mod without module directive should error")
+	for _, want := range []string{RuleGlobalRand, RuleWallClock, RuleMapRange, RuleObsClock, RuleSanImmutable} {
+		if !names[want] {
+			t.Errorf("Analyzers() missing %q", want)
+		}
 	}
-	root2 := writeTree(t, map[string]string{"go.mod": "module  spaced/path \n"})
-	got, err := modulePath(filepath.Join(root2, "go.mod"))
-	if err != nil || got != "spaced/path" {
-		t.Errorf("modulePath = %q, %v; want spaced/path", got, err)
+	if len(as) != 5 {
+		t.Errorf("Analyzers() = %d analyzers, want 5", len(as))
 	}
 }
 

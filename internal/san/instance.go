@@ -91,6 +91,13 @@ type Instance struct {
 	// model's touch hooks record dirt.
 	tracking bool
 
+	// preFire / postFire, when set, bracket every firing's gate execution
+	// (before the input functions, after the chosen case's output gate).
+	// They exist for verification instrumentation — the structural
+	// conformance check snapshots the marking around each firing — and
+	// cost one nil test per firing when unset.
+	preFire, postFire func(*Activity)
+
 	// caseWeights is the chooseCase scratch buffer (max case count).
 	caseWeights []float64
 
@@ -247,6 +254,34 @@ func (in *Instance) SetActivityEnabled(name string, enabled bool) error {
 	return nil
 }
 
+// DisabledActivityNames returns the fully qualified names of every
+// administratively disabled activity, in firing-table order (timed first).
+// Static analysis uses it to avoid reporting deliberately disabled
+// activities as dead.
+func (in *Instance) DisabledActivityNames() []string {
+	if !in.anyDisabled {
+		return nil
+	}
+	var names []string
+	for i := in.disabledTimed.next(0); i >= 0; i = in.disabledTimed.next(i + 1) {
+		names = append(names, in.timed[i].act.name)
+	}
+	for i := in.disabledInst.next(0); i >= 0; i = in.disabledInst.next(i + 1) {
+		names = append(names, in.instants[i].act.name)
+	}
+	return names
+}
+
+// SetFireHooks installs (or with nils removes) the verification hooks
+// bracketing every firing: pre runs before the activity's input-gate
+// functions, post after its case output gate completed without error. The
+// hooks run outside dirty tracking only in the sense that their own place
+// reads should use Peek/Tokens; they are for instrumentation (the
+// structural conformance check), not modeling.
+func (in *Instance) SetFireHooks(pre, post func(a *Activity)) {
+	in.preFire, in.postFire = pre, post
+}
+
 // touchID marks a place dirty (token places use their id, extended places
 // extBase+id): every activity reading it becomes an enabling-
 // reconsideration candidate and every rate reward watching it is
@@ -396,6 +431,9 @@ func (in *Instance) fire(ap *actPlan) {
 	a := ap.act
 	a.completed++
 	in.firings++
+	if in.preFire != nil {
+		in.preFire(a)
+	}
 	in.tracking = true
 	for _, fn := range a.inputFns {
 		fn()
@@ -418,6 +456,9 @@ func (in *Instance) fire(ap *actPlan) {
 	in.tracking = false
 	if in.failed != nil {
 		return
+	}
+	if in.postFire != nil {
+		in.postFire(a)
 	}
 	for _, i := range ap.impulseIdx {
 		in.impulses[i] += in.prog.model.impulses[i].Fn()

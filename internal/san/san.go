@@ -37,12 +37,13 @@ import (
 
 // Place is a SAN place holding a natural number of tokens.
 type Place struct {
-	name    string
-	initial int
-	tokens  int
-	id      int // index into the model's place list (incidence indexing)
-	model   *Model
-	joins   []string // submodels sharing this place
+	name     string
+	initial  int
+	tokens   int
+	capacity int // declared upper bound, 0 = undeclared
+	id       int // index into the model's place list (incidence indexing)
+	model    *Model
+	joins    []string // submodels sharing this place
 }
 
 // Name returns the place's fully qualified name.
@@ -51,12 +52,39 @@ func (p *Place) Name() string { return p.name }
 // Tokens returns the current marking of the place.
 func (p *Place) Tokens() int { return p.tokens }
 
-// SetTokens sets the marking. Negative markings are a modeling error and
-// are recorded on the model; the marking is clamped to zero.
+// SetCapacity declares an upper bound on the place's marking. The bound is
+// a modeling invariant, not a clamp: it is enforced at runtime (exceeding
+// it is a modeling error that fails the replication, like a negative
+// marking) and exported through the structure snapshot, where static
+// analysis treats the place as bounded by declaration. Declare capacities
+// on places whose bound follows from gate semantics the structural
+// analyzer cannot see.
+func (p *Place) SetCapacity(n int) *Place {
+	if n < 1 {
+		p.model.addErr(fmt.Errorf("san: place %s declared non-positive capacity %d", p.name, n))
+		return p
+	}
+	if p.initial > n {
+		p.model.addErr(fmt.Errorf("san: place %s initial marking %d exceeds declared capacity %d", p.name, p.initial, n))
+		return p
+	}
+	p.capacity = n
+	return p
+}
+
+// Capacity returns the declared upper bound, or 0 when none was declared.
+func (p *Place) Capacity() int { return p.capacity }
+
+// SetTokens sets the marking. Negative markings and markings above a
+// declared capacity are modeling errors and are recorded on the model;
+// negative markings are clamped to zero.
 func (p *Place) SetTokens(n int) {
 	if n < 0 {
 		p.model.addErr(fmt.Errorf("san: place %s marked negative (%d)", p.name, n))
 		n = 0
+	}
+	if p.capacity > 0 && n > p.capacity {
+		p.model.addErr(fmt.Errorf("san: place %s marked %d, above its declared capacity %d", p.name, n, p.capacity))
 	}
 	p.tokens = n
 	if r := p.model.run; r != nil && r.tracking {
@@ -185,6 +213,12 @@ type Activity struct {
 	model     *Model
 	defined   int // definition order, tie-break within priority
 	completed uint64
+	// gatePreds / gateFns / gateCases count the opaque gate components
+	// added directly (Predicate, InputFunc, AddCase), as opposed to the
+	// ones the counted-arc conveniences create. Structural analysis uses
+	// them to tell activities whose semantics ARE their documented arcs
+	// from activities with behavior the documentation only approximates.
+	gatePreds, gateFns, gateCases int
 }
 
 // Name returns the activity's fully qualified name.
@@ -200,6 +234,11 @@ func (a *Activity) Completed() uint64 { return a.completed }
 // Predicate adds an enabling condition; the activity is enabled only when
 // every added predicate holds (input-gate predicates).
 func (a *Activity) Predicate(fn func() bool) *Activity {
+	a.gatePreds++
+	return a.addPredicate(fn)
+}
+
+func (a *Activity) addPredicate(fn func() bool) *Activity {
 	if fn == nil {
 		a.model.addErr(fmt.Errorf("san: nil predicate on activity %s", a.name))
 		return a
@@ -211,6 +250,11 @@ func (a *Activity) Predicate(fn func() bool) *Activity {
 // InputFunc adds an input-gate function executed when the activity
 // completes, before the case's output gate.
 func (a *Activity) InputFunc(fn func()) *Activity {
+	a.gateFns++
+	return a.addInputFunc(fn)
+}
+
+func (a *Activity) addInputFunc(fn func()) *Activity {
 	if fn == nil {
 		a.model.addErr(fmt.Errorf("san: nil input function on activity %s", a.name))
 		return a
@@ -228,6 +272,7 @@ func (a *Activity) AddCase(weight func() float64, output func()) *Activity {
 	if weight == nil {
 		weight = func() float64 { return 1 }
 	}
+	a.gateCases++
 	a.cases = append(a.cases, Case{Weight: weight, Output: output})
 	return a
 }
@@ -240,10 +285,27 @@ func (a *Activity) Priority(p int) *Activity {
 }
 
 // Link documents a connection to a place for structure export and static
-// analysis. It has no semantic effect; gates capture places directly.
+// analysis. It has no semantic effect; gates capture places directly. A
+// zero-count link means the gate reads (input) or writes (output) the place
+// by an amount the documentation does not fix; use LinkN when the gate's
+// token effect is a known constant.
 func (a *Activity) Link(kind LinkKind, placeName string) *Activity {
 	a.links = append(a.links, Link{Kind: kind, Place: placeName})
 	return a
+}
+
+// LinkN documents a connection with a fixed token count for gate code whose
+// effect on the place is a known constant: an output LinkN(n) asserts every
+// completion adds exactly n tokens, an input LinkN(n) that it consumes
+// exactly n. Like Link it has no semantic effect, but the structural
+// analyzer admits the declared count into its incidence matrix, and the
+// dynamic conformance check (sanalyze) verifies gate behavior against it.
+func (a *Activity) LinkN(kind LinkKind, placeName string, n int) *Activity {
+	if n < 1 {
+		a.model.addErr(fmt.Errorf("san: non-positive link count %d on activity %s", n, a.name))
+		return a
+	}
+	return a.linkTokens(kind, placeName, n)
 }
 
 // linkTokens documents a connection with a fixed token count (InputArc /
@@ -267,10 +329,12 @@ func (a *Activity) enabled() bool {
 }
 
 // InputArc is a convenience: requires n tokens in p and consumes them on
-// completion (classic Petri-net input arc expressed as an input gate).
+// completion (classic Petri-net input arc expressed as an input gate). The
+// predicate and consumption it installs are fully described by the counted
+// link, so arcs do not count toward the activity's opaque-gate tally.
 func (a *Activity) InputArc(p *Place, n int) *Activity {
-	a.Predicate(func() bool { return p.Tokens() >= n })
-	a.InputFunc(func() { p.Add(-n) })
+	a.addPredicate(func() bool { return p.Tokens() >= n })
+	a.addInputFunc(func() { p.Add(-n) })
 	return a.linkTokens(LinkInput, p.Name(), n)
 }
 
@@ -278,7 +342,7 @@ func (a *Activity) InputArc(p *Place, n int) *Activity {
 // be combined with AddCase or used on activities with a default case; the
 // production happens before case outputs.
 func (a *Activity) OutputArc(p *Place, n int) *Activity {
-	a.InputFunc(func() { p.Add(n) })
+	a.addInputFunc(func() { p.Add(n) })
 	return a.linkTokens(LinkOutput, p.Name(), n)
 }
 
@@ -306,18 +370,36 @@ type ImpulseReward struct {
 	Refs []string
 }
 
+// PlaceWeight is one term of a declared conservation law.
+type PlaceWeight struct {
+	Place  string
+	Weight int
+}
+
+// Conservation is a declared token-conservation law: the builder asserts
+// that the weighted sum of the named places' markings never changes. The
+// declaration has no runtime effect; the structural analyzer verifies it
+// against the documented incidence (every activity's counted effect must be
+// orthogonal to the weight vector, and no support place may have writes of
+// undocumented size) and reports any violation as an error.
+type Conservation struct {
+	Name    string
+	Weights []PlaceWeight
+}
+
 // Model is a (possibly composed) SAN model: places, activities, and reward
 // variables. Build one with NewModel, add components through submodels, and
 // check Err before running.
 type Model struct {
-	name       string
-	places     []*Place
-	extPlaces  []extNode
-	activities []*Activity
-	rates      []RateReward
-	impulses   []ImpulseReward
-	byName     map[string]bool
-	errs       []error
+	name          string
+	places        []*Place
+	extPlaces     []extNode
+	activities    []*Activity
+	rates         []RateReward
+	impulses      []ImpulseReward
+	conservations []Conservation
+	byName        map[string]bool
+	errs          []error
 	// notify, when set, is called on every recorded modeling error so a
 	// running Runner can fail fast instead of finishing with clamped state.
 	notify func(error)
@@ -420,6 +502,24 @@ func (m *Model) RateRewardNames() []string {
 		names[i] = r.Name
 	}
 	return names
+}
+
+// DeclareConservation records a token-conservation law for the structural
+// analyzer to verify: the weighted sum of the named places' markings must
+// be invariant under every documented activity effect. Weights must be
+// positive and places must exist by the time the model is analyzed.
+func (m *Model) DeclareConservation(name string, weights ...PlaceWeight) {
+	if name == "" || len(weights) == 0 {
+		m.addErr(fmt.Errorf("san: conservation declaration needs a name and at least one place"))
+		return
+	}
+	for _, w := range weights {
+		if w.Weight <= 0 {
+			m.addErr(fmt.Errorf("san: conservation %q has non-positive weight %d on place %q", name, w.Weight, w.Place))
+			return
+		}
+	}
+	m.conservations = append(m.conservations, Conservation{Name: name, Weights: append([]PlaceWeight(nil), weights...)})
 }
 
 // Sub creates a namespaced submodel. Component names are qualified as

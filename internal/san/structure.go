@@ -11,6 +11,9 @@ type Structure struct {
 	Places     []PlaceInfo
 	Activities []ActivityInfo
 	Rewards    []RewardInfo
+	// Conservations are the declared token-conservation laws, for the
+	// structural analyzer to verify against the documented incidence.
+	Conservations []Conservation
 }
 
 // PlaceInfo describes one place.
@@ -18,6 +21,9 @@ type PlaceInfo struct {
 	Name string
 	// Initial is the initial marking; always 0 for extended places.
 	Initial int
+	// Capacity is the declared, runtime-enforced upper bound on the
+	// marking; 0 means undeclared. Always 0 for extended places.
+	Capacity int
 	// Extended reports whether the place holds a structured value rather
 	// than a token count.
 	Extended bool
@@ -38,10 +44,19 @@ type ActivityInfo struct {
 	Name     string
 	Kind     ActivityKind
 	Priority int
-	// Predicates is the number of enabling predicates attached.
+	// Predicates is the number of enabling predicates attached (counted
+	// input arcs install one each; GatePredicates counts the rest).
 	Predicates int
-	Cases      []CaseInfo
-	Links      []Link
+	// GatePredicates / GateFuncs / GateCases count the opaque gate
+	// components added directly through Predicate, InputFunc, and AddCase.
+	// An activity with all three zero is a pure-arc activity: its enabling
+	// condition and marking effect are exactly its counted links, so
+	// structural analysis can execute it symbolically.
+	GatePredicates int
+	GateFuncs      int
+	GateCases      int
+	Cases          []CaseInfo
+	Links          []Link
 }
 
 // RewardKind distinguishes rate from impulse rewards.
@@ -71,11 +86,18 @@ type RewardInfo struct {
 // outside a run.
 func (m *Model) Structure() Structure {
 	st := Structure{Name: m.name}
+	for _, c := range m.conservations {
+		st.Conservations = append(st.Conservations, Conservation{
+			Name:    c.Name,
+			Weights: append([]PlaceWeight(nil), c.Weights...),
+		})
+	}
 	for _, p := range m.places {
 		st.Places = append(st.Places, PlaceInfo{
-			Name:    p.name,
-			Initial: p.initial,
-			Joins:   append([]string(nil), p.joins...),
+			Name:     p.name,
+			Initial:  p.initial,
+			Capacity: p.capacity,
+			Joins:    append([]string(nil), p.joins...),
 		})
 	}
 	for _, p := range m.extPlaces {
@@ -87,11 +109,14 @@ func (m *Model) Structure() Structure {
 	}
 	for _, a := range m.activities {
 		info := ActivityInfo{
-			Name:       a.name,
-			Kind:       a.kind,
-			Priority:   a.priority,
-			Predicates: len(a.preds),
-			Links:      a.Links(),
+			Name:           a.name,
+			Kind:           a.kind,
+			Priority:       a.priority,
+			Predicates:     len(a.preds),
+			GatePredicates: a.gatePreds,
+			GateFuncs:      a.gateFns,
+			GateCases:      a.gateCases,
+			Links:          a.Links(),
 		}
 		for _, c := range a.cases {
 			info.Cases = append(info.Cases, CaseInfo{Weight: c.Weight()})

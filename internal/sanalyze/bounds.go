@@ -1,0 +1,273 @@
+package sanalyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vcpusim/internal/san"
+)
+
+// boundPlaces produces a boundedness verdict for every token place by
+// trying certificates from strongest to weakest:
+//
+//  1. constant — no output link at all: the marking never changes
+//     (gate code writing an unlinked place is a conformance violation).
+//  2. non-increasing — every documented effect is ≤ 0: bounded by the
+//     initial marking (fault budget places).
+//  3. p-invariant — a semipositive invariant covers the place: bounded
+//     by ⌊value/weight⌋.
+//  4. drained — all positive writers are timed, and a pure-enabling
+//     instantaneous activity consumes from exactly this place: every
+//     stable state has fewer tokens than the drain threshold, so the
+//     transient peak is (threshold−1) + the largest single-firing add
+//     (clock-tick places emptied by the scheduler step).
+//  5. capacity — a declared san.Place.SetCapacity bound, enforced at
+//     runtime as a modeling error.
+//  6. reachability — the exact maximum over a completely explored state
+//     space (pure-arc nets only).
+func boundPlaces(n *net, pinvs []Invariant, reach *reachResult) []PlaceBound {
+	bounds := make([]PlaceBound, len(n.places))
+	for p := range n.places {
+		bounds[p] = boundPlace(n, p, pinvs, reach)
+	}
+	return bounds
+}
+
+func boundPlace(n *net, p int, pinvs []Invariant, reach *reachResult) PlaceBound {
+	pl := &n.places[p]
+	b := PlaceBound{Place: pl.name, Bound: -1}
+
+	hasOutput := len(pl.vagueWriters) > 0
+	nonPositive := true
+	maxAdd := 0
+	for ai := range n.acts {
+		a := &n.acts[ai]
+		for _, x := range a.out {
+			if x.place == p {
+				hasOutput = true
+			}
+		}
+		if d := a.effect(p); d > 0 {
+			nonPositive = false
+			if d > maxAdd {
+				maxAdd = d
+			}
+		}
+	}
+	if !hasOutput {
+		b.Bound = pl.initial
+		b.Method = "constant"
+		b.Detail = "no documented writes"
+		return b
+	}
+	if nonPositive && n.eligible(p) {
+		b.Bound = pl.initial
+		b.Method = "non-increasing"
+		b.Detail = "every documented effect is ≤ 0"
+		return b
+	}
+	if n.eligible(p) {
+		for _, iv := range pinvs {
+			w, ok := iv.Weights[pl.name]
+			if !ok || w <= 0 || iv.Value < 0 {
+				continue
+			}
+			bound := int(iv.Value / w)
+			if b.Bound < 0 || bound < b.Bound {
+				b.Bound = bound
+				b.Method = "p-invariant"
+				b.Detail = fmt.Sprintf("%s = %d", iv, iv.Value)
+			}
+		}
+		if b.Bound >= 0 {
+			return b
+		}
+	}
+	if bound, drain, ok := drainCertificate(n, p, maxAdd); ok {
+		b.Bound = bound
+		b.Method = "drained"
+		b.Detail = fmt.Sprintf("timed writers only; instantaneous %s empties the place", drain)
+		return b
+	}
+	if pl.capacity > 0 {
+		b.Bound = pl.capacity
+		b.Method = "capacity"
+		b.Detail = "declared capacity, runtime-enforced"
+		return b
+	}
+	if reach.complete() {
+		b.Bound = reach.maxTokens[p]
+		b.Method = "reachability"
+		b.Detail = fmt.Sprintf("exact maximum over %d states", reach.states)
+		return b
+	}
+	var why []string
+	if !n.eligible(p) {
+		why = append(why, fmt.Sprintf("unquantified gate writes by %s", strings.Join(uniqueSorted(pl.vagueWriters), ", ")))
+	} else {
+		why = append(why, "no invariant cover, drain, or capacity certificate")
+	}
+	b.Detail = "boundedness unproven: " + strings.Join(why, "; ")
+	return b
+}
+
+// drainCertificate proves a place bounded when every activity that adds
+// tokens to it is timed (so nothing grows it during stabilization) and
+// some enabled-by-arcs-only instantaneous activity consumes from exactly
+// this place. In every stable state that activity is disabled, so the
+// place holds at most threshold−1 tokens; one timed firing can add at
+// most maxAdd before the next stabilization empties it again.
+func drainCertificate(n *net, p int, maxAdd int) (bound int, drain string, ok bool) {
+	if !n.eligible(p) || maxAdd == 0 {
+		return 0, "", false
+	}
+	for ai := range n.acts {
+		a := &n.acts[ai]
+		if a.effect(p) > 0 && a.kind != san.Timed {
+			return 0, "", false
+		}
+	}
+	for ai := range n.acts {
+		a := &n.acts[ai]
+		if a.kind != san.Instantaneous || a.disabled {
+			continue
+		}
+		// Pure enabling: predicates are exactly the counted input arcs,
+		// and the only arc consumes from p.
+		if a.gatePreds != 0 || a.preds != a.arcPreds {
+			continue
+		}
+		if len(a.in) != 1 || a.in[0].place != p {
+			continue
+		}
+		if a.effect(p) >= 0 {
+			continue
+		}
+		// Enabling requirement, not consumption: in every stable state
+		// the drain is disabled, so the place holds at most req−1.
+		threshold := a.inReq[0].n
+		return threshold - 1 + maxAdd, a.name, true
+	}
+	return 0, "", false
+}
+
+// checkConservation verifies each declared conservation law against the
+// incidence matrix: every activity's weighted effect on the law's
+// support must be zero, and no support place may receive unquantified
+// gate writes (which would make the law unverifiable).
+func checkConservation(n *net, laws []san.Conservation, r *Report) {
+	for _, law := range laws {
+		bad := false
+		var sum int64
+		for _, w := range law.Weights {
+			p, ok := n.placeIdx[w.Place]
+			if !ok {
+				r.Findings = append(r.Findings, Finding{
+					Check:     CheckConservation,
+					Severity:  Error,
+					Component: "law " + law.Name,
+					Message:   fmt.Sprintf("references unknown or extended place %s", w.Place),
+				})
+				bad = true
+				continue
+			}
+			if !n.eligible(p) {
+				r.Findings = append(r.Findings, Finding{
+					Check:     CheckConservation,
+					Severity:  Error,
+					Component: "law " + law.Name,
+					Message: fmt.Sprintf("unverifiable: place %s receives unquantified gate writes (%s)",
+						w.Place, strings.Join(uniqueSorted(n.places[p].vagueWriters), ", ")),
+				})
+				bad = true
+				continue
+			}
+			sum += int64(w.Weight) * int64(n.places[p].initial)
+		}
+		if bad {
+			continue
+		}
+		for ai := range n.acts {
+			a := &n.acts[ai]
+			var delta int64
+			for _, w := range law.Weights {
+				delta += int64(w.Weight) * int64(a.effect(n.placeIdx[w.Place]))
+			}
+			if delta != 0 {
+				r.Findings = append(r.Findings, Finding{
+					Check:     CheckConservation,
+					Severity:  Error,
+					Component: "law " + law.Name,
+					Message: fmt.Sprintf("broken: activity %s changes the weighted sum by %+d",
+						a.name, delta),
+				})
+				bad = true
+			}
+		}
+		if !bad {
+			r.Conservation = append(r.Conservation,
+				fmt.Sprintf("%s: %s = %d", law.Name, lawString(law), sum))
+		}
+	}
+}
+
+func lawString(law san.Conservation) string {
+	parts := make([]string, 0, len(law.Weights))
+	for _, w := range law.Weights {
+		if w.Weight == 1 {
+			parts = append(parts, w.Place)
+		} else {
+			parts = append(parts, fmt.Sprintf("%d·%s", w.Weight, w.Place))
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+// deadlockVerdict proves deadlock freedom either exactly (complete
+// reachability with no deadlock) or by the perpetual-activity
+// certificate: a timed activity with no enabling condition at all is
+// enabled in every marking, so the event loop always has a next event.
+func deadlockVerdict(n *net, reach *reachResult) DeadlockVerdict {
+	if reach.deadlock != nil {
+		return DeadlockVerdict{
+			Status: "deadlock",
+			Method: "reachability",
+			Detail: fmt.Sprintf("reachable dead marking after %d firings", len(reach.deadlock.Trace)),
+		}
+	}
+	if reach.complete() {
+		return DeadlockVerdict{
+			Status: "deadlock-free",
+			Method: "reachability",
+			Detail: fmt.Sprintf("no dead marking among %d reachable states", reach.states),
+		}
+	}
+	for ai := range n.acts {
+		a := &n.acts[ai]
+		if a.kind == san.Timed && a.preds == 0 && a.gatePreds == 0 && !a.disabled {
+			return DeadlockVerdict{
+				Status: "deadlock-free",
+				Method: "perpetual-activity",
+				Detail: fmt.Sprintf("timed activity %s has no enabling condition and is enabled in every marking", a.name),
+			}
+		}
+	}
+	return DeadlockVerdict{
+		Status: "unproven",
+		Detail: "no perpetual timed activity and reachability incomplete",
+	}
+}
+
+func uniqueSorted(names []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range names {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

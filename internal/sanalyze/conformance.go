@@ -1,0 +1,115 @@
+package sanalyze
+
+import (
+	"fmt"
+	"sort"
+
+	"vcpusim/internal/san"
+)
+
+// maxConformanceFindings caps the violations reported per run; repeats
+// of the same (activity, place) pair are deduplicated first.
+const maxConformanceFindings = 20
+
+// Conformance replays an instance for one horizon and verifies that
+// every firing changes token markings exactly as the activity's
+// documented links promise:
+//
+//   - a place with no output link from the firing activity must not
+//     change (an undeclared gate write);
+//   - a place whose links to the activity are all counted must change by
+//     exactly the documented net amount;
+//   - a zero-count output link admits any change (the write is declared
+//     but unquantified).
+//
+// This is the runtime half of the structural story: every static
+// certificate that leans on counted links (LinkN, invariants,
+// conservation laws) is only as good as the links, and this check makes
+// lying links fail the vet gate. It returns the violations and the
+// number of firings checked.
+func Conformance(in *san.Instance, horizon float64, seed uint64) ([]Finding, int, error) {
+	model := in.Program().Model()
+	places := model.Places()
+	idx := make(map[string]int, len(places))
+	for i, p := range places {
+		idx[p.Name()] = i
+	}
+
+	// Documented expectations per activity: exact net delta for counted
+	// places, a wildcard for places with a zero-count output link.
+	type expect struct {
+		delta []int
+		vague map[int]bool
+		link  map[int]bool // any output link at all
+	}
+	expects := map[string]*expect{}
+	for _, a := range model.Activities() {
+		ex := &expect{delta: make([]int, len(places)), vague: map[int]bool{}, link: map[int]bool{}}
+		for _, l := range a.Links() {
+			pi, ok := idx[l.Place]
+			if !ok {
+				continue // extended place: no token marking to check
+			}
+			switch {
+			case l.Kind == san.LinkOutput && l.Tokens == 0:
+				ex.vague[pi] = true
+				ex.link[pi] = true
+			case l.Kind == san.LinkOutput:
+				ex.delta[pi] += l.Tokens
+				ex.link[pi] = true
+			case l.Tokens > 0: // counted input arc
+				ex.delta[pi] -= l.Tokens
+				ex.link[pi] = true
+			}
+		}
+		expects[a.Name()] = ex
+	}
+
+	prev := make([]int, len(places))
+	seen := map[string]bool{} // (activity, place) pairs already reported
+	var findings []Finding
+	checked := 0
+	in.SetFireHooks(
+		func(a *san.Activity) {
+			for i, p := range places {
+				prev[i] = p.Tokens()
+			}
+		},
+		func(a *san.Activity) {
+			checked++
+			ex := expects[a.Name()]
+			for i, p := range places {
+				d := p.Tokens() - prev[i]
+				if ex.vague[i] || d == ex.delta[i] {
+					continue
+				}
+				key := a.Name() + "\x00" + p.Name()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				msg := fmt.Sprintf("gate changed the marking by %+d but the documented links promise %+d", d, ex.delta[i])
+				if !ex.link[i] && ex.delta[i] == 0 {
+					msg = fmt.Sprintf("undeclared write: gate changed the marking by %+d with no output link documented", d)
+				}
+				findings = append(findings, Finding{
+					Check:     CheckConformance,
+					Severity:  Error,
+					Component: fmt.Sprintf("activity %s, place %s", a.Name(), p.Name()),
+					Message:   msg,
+				})
+			}
+		},
+	)
+	defer in.SetFireHooks(nil, nil)
+
+	in.Reset(seed)
+	if _, err := in.Run(horizon); err != nil {
+		return findings, checked, err
+	}
+	if len(findings) > maxConformanceFindings {
+		findings = findings[:maxConformanceFindings]
+	}
+	sort.SliceStable(findings, func(i, j int) bool { return findings[i].Component < findings[j].Component })
+	return findings, checked, nil
+}

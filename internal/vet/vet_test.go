@@ -1,11 +1,15 @@
 package vet
 
 import (
+	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // fig8Config is a minimal valid experiment configuration (the paper's
 // Figure 8 setup under RCS).
@@ -125,6 +129,164 @@ func TestNothingToVerifyRejected(t *testing.T) {
 	var b strings.Builder
 	if err := Run([]string{"-nosource"}, &b); err == nil {
 		t.Fatal("-nosource without -config silently verified nothing")
+	}
+}
+
+// TestStructuralBuiltinSuite is the CI gate: every shipped model variant
+// (Figure 8 barrier, spinlock, fault campaign with a disabled spec) must
+// prove bounded and deadlock-free, its conservation law must verify, and
+// the conformance replay must be violation-free. The rendered report is
+// pinned as a golden file so certificate regressions (a place silently
+// losing its bound proof) surface as a diff.
+func TestStructuralBuiltinSuite(t *testing.T) {
+	var b strings.Builder
+	if err := Run([]string{"-structural"}, &b); err != nil {
+		t.Fatalf("structural gate failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"fig8-barrier", "fig8-spinlock", "faults-campaign",
+		"boundedness: PROVED", "deadlock: PROVED FREE",
+		"pcpu-count", "conformance:", "0 violations",
+		"disabled:", // the dormant spec's injector is excluded, not dead
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("structural report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "dead-activity") {
+		t.Errorf("disabled injector reported dead:\n%s", out)
+	}
+
+	golden := filepath.Join("testdata", "structural.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden report missing (run with -update): %v", err)
+	}
+	if string(want) != out {
+		t.Errorf("structural report drifted from golden (re-run with -update if intended)\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+// TestStructuralConfig verifies -structural composes with -config: the
+// fig8 experiment model passes the full structural gate.
+func TestStructuralConfig(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-structural", "-config", writeConfig(t, fig8Config)}
+	if err := Run(args, &b); err != nil {
+		t.Fatalf("fig8 config failed structural gate: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "boundedness: PROVED") {
+		t.Errorf("report missing boundedness proof:\n%s", b.String())
+	}
+}
+
+// TestStructuralJSONCleanSilent: -structural -json on the passing suite
+// emits nothing — the machine-readable stream carries findings only.
+func TestStructuralJSONCleanSilent(t *testing.T) {
+	var b strings.Builder
+	if err := Run([]string{"-structural", "-json"}, &b); err != nil {
+		t.Fatalf("structural gate failed: %v\n%s", err, b.String())
+	}
+	if b.Len() != 0 {
+		t.Errorf("clean JSON run produced output:\n%s", b.String())
+	}
+}
+
+// TestJSONFindings checks the JSONL schema on a defective module: one
+// valid JSON object per line, with the documented fields populated, and
+// the decorative ok/report prose suppressed.
+func TestJSONFindings(t *testing.T) {
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/fake\n\ngo 1.22\n",
+		"internal/des/clock.go": `package des
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	}
+	for rel, content := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	err := Run([]string{"-json", "-root", root}, &b)
+	if err == nil {
+		t.Fatalf("defective module passed:\n%s", b.String())
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no JSON findings emitted")
+	}
+	for _, line := range lines {
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		if f.Tool != "golint" || f.Check == "" || f.Message == "" || f.File == "" || f.Line == 0 {
+			t.Errorf("finding incomplete: %+v", f)
+		}
+	}
+}
+
+// TestJSONFixturesDemo: the fixture demo in JSON mode streams both
+// sanlint and sanalyze findings, including counterexample traces.
+func TestJSONFixturesDemo(t *testing.T) {
+	var b strings.Builder
+	if err := Run([]string{"-fixtures", "-json"}, &b); err != nil {
+		t.Fatalf("fixture demo failed: %v", err)
+	}
+	tools := map[string]bool{}
+	sawTrace := false
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		var f jsonFinding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		tools[f.Tool] = true
+		if len(f.Trace) > 0 {
+			sawTrace = true
+		}
+	}
+	if !tools["sanlint"] || !tools["sanalyze"] {
+		t.Errorf("tools seen = %v, want sanlint and sanalyze", tools)
+	}
+	if !sawTrace {
+		t.Error("no finding carried a counterexample trace")
+	}
+}
+
+// TestFixturesDemoStructural: the human fixture demo shows the sanalyze
+// seeded defects firing with counterexamples, and the clean counterparts
+// passing.
+func TestFixturesDemoStructural(t *testing.T) {
+	var b strings.Builder
+	if err := Run([]string{"-fixtures"}, &b); err != nil {
+		t.Fatalf("fixture demo failed: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"structural:unbounded-place-bad", "unbounded-place",
+		"structural:deadlock-bad", "deadlock", "counterexample:",
+		"structural:dead-activity-bad", "dead-activity",
+		"structural:conservation-bad", "conservation",
+		"structural:deadlock-ok: clean", "structural:disabled-not-dead: clean",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fixture demo missing %q:\n%s", want, out)
+		}
 	}
 }
 

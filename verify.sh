@@ -16,8 +16,17 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+echo "== go vet -vettool (determinism analyzers under the go driver)"
+vettool=$(mktemp -d)/vcpuvet
+go build -o "$vettool" ./cmd/vet
+go vet -vettool="$vettool" ./...
+
 echo "== vcpusim vet (determinism lint + shipped model check)"
 go run ./cmd/vcpusim vet -config cmd/vcpusim/testdata/fig8.json
+
+echo "== vcpusim vet -structural (boundedness/deadlock proofs + link conformance)"
+go run ./cmd/vcpusim vet -structural >/dev/null
+go run ./cmd/vcpusim vet -structural -config cmd/vcpusim/testdata/fig8.json >/dev/null
 
 echo "== go build ./..."
 go build ./...
