@@ -12,7 +12,15 @@
 #                             # headline engine benchmarks (fig8, tandem-64)
 #                             # parsed into JSON under the given label via
 #                             # cmd/benchjson; default out
-#                             # results/bench/BENCH_pr4.json
+#                             # results/bench/BENCH_<label>.json (errors if
+#                             # that file already exists — never silently
+#                             # overwrites a recorded baseline). Fixed
+#                             # iteration count (-benchtime 50x) and
+#                             # -count=10 with median aggregation: see
+#                             # EXPERIMENTS.md for the protocol.
+#   ./bench.sh compare <old.json> <new.json> [tolerance]
+#                             # regression gate: benchjson -compare with a
+#                             # relative tolerance band (default 0.15)
 #   ./bench.sh [out.txt]      # full run, tee to the given file
 #
 # Compare two recorded runs with `benchstat old.txt new.txt` (not vendored;
@@ -34,11 +42,28 @@ smoke)
     ;;
 json)
     label="${2:?usage: ./bench.sh json <label> [out.json]}"
-    out="${3:-results/bench/BENCH_pr4.json}"
+    if [ $# -ge 3 ]; then
+        out="$3"
+    else
+        out="results/bench/BENCH_${label}.json"
+        if [ -e "$out" ]; then
+            echo "bench.sh: $out already exists; pick a new label, pass an explicit output path, or remove the stale record" >&2
+            exit 1
+        fi
+    fi
     mkdir -p "$(dirname "$out")"
+    # Fixed iteration count (not -benchtime 1s): time-based budgets let the
+    # iteration count float with machine load, which moves the measured
+    # work itself between runs. 50 iterations x count=10 with median
+    # aggregation in benchjson is the recording protocol (EXPERIMENTS.md).
     go test -run '^$' -bench 'BenchmarkRunnerFig8$|BenchmarkRunnerTandem/stations=64' \
-        -benchtime 1s -count=3 -benchmem ./internal/core ./internal/san |
+        -benchtime 50x -count=10 -benchmem ./internal/core ./internal/san |
         go run ./cmd/benchjson -out "$out" -label "$label"
+    ;;
+compare)
+    old="${2:?usage: ./bench.sh compare <old.json> <new.json> [tolerance]}"
+    new="${3:?usage: ./bench.sh compare <old.json> <new.json> [tolerance]}"
+    exec go run ./cmd/benchjson -compare "$old" "$new" -tolerance "${4:-0.15}"
     ;;
 -setup)
     out="${2:-}"

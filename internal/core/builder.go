@@ -588,18 +588,21 @@ func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
 		if pendingOut[vc.id] {
 			status = Inactive
 		}
-		views[vc.id] = VCPUView{
-			ID:              vc.id,
-			VM:              vc.vm,
-			Sibling:         vc.sibling,
-			Status:          status,
-			RemainingLoad:   s.RemainingLoad,
-			SyncPoint:       s.SyncPoint,
-			PCPU:            h.PCPU,
-			Timeslice:       h.Timeslice,
-			LastScheduledIn: h.LastIn,
-			Runtime:         h.Runtime,
-		}
+		// Field writes through a pointer: assigning a composite literal
+		// builds the struct in a temporary and block-copies it into the
+		// slice, which shows up as measurable copy time at tick rate.
+		v := &views[vc.id]
+		v.ID = vc.id
+		v.VM = vc.vm
+		v.Sibling = vc.sibling
+		v.Status = status
+		v.RemainingLoad = s.RemainingLoad
+		v.SyncPoint = s.SyncPoint
+		v.PCPU = h.PCPU
+		v.Timeslice = h.Timeslice
+		v.LastScheduledIn = h.LastIn
+		v.Runtime = h.Runtime
+		v.Stalled = false // set below when a fault runtime is attached
 	}
 	pviews := sys.pviewBuf
 	for i, v := range *pc {

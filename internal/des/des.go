@@ -8,7 +8,6 @@
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -42,12 +41,17 @@ func (e *Event) Pending() bool { return e.index >= 0 }
 // usable; construct with NewKernel.
 type Kernel struct {
 	now       float64
-	queue     eventQueue
+	queue     []*Event
 	seq       uint64
 	fired     uint64
 	scheduled uint64
 	cancelled uint64
 	halted    bool
+	// arena is the contiguous storage block NewEvent hands out reusable
+	// events from after a Reserve: one allocation for a whole activation
+	// set instead of one per event, and the events' hot fields (time, seq,
+	// index) end up adjacent in memory for the heap's comparisons.
+	arena []Event
 }
 
 // NewKernel returns a kernel with the clock at zero and an empty event list.
@@ -117,7 +121,7 @@ func (k *Kernel) Schedule(t float64, priority int, name string, handler Handler)
 	k.seq++
 	k.scheduled++
 	ev := &Event{time: t, priority: priority, seq: k.seq, handler: handler, name: name}
-	heap.Push(&k.queue, ev)
+	k.push(ev)
 	return ev, nil
 }
 
@@ -136,7 +140,26 @@ func (k *Kernel) NewEvent(priority int, name string, handler Handler) (*Event, e
 	if handler == nil {
 		return nil, fmt.Errorf("des: nil handler for event %q", name)
 	}
-	return &Event{priority: priority, name: name, handler: handler, index: -1}, nil
+	var ev *Event
+	if len(k.arena) < cap(k.arena) {
+		k.arena = k.arena[:len(k.arena)+1]
+		ev = &k.arena[len(k.arena)-1]
+	} else {
+		ev = &Event{}
+	}
+	*ev = Event{priority: priority, name: name, handler: handler, index: -1}
+	return ev, nil
+}
+
+// Reserve pre-allocates contiguous storage for the next n NewEvent calls.
+// Events previously handed out stay valid (they keep the old block alive);
+// Reset does not reclaim the arena, so a reserved kernel reuses the same
+// storage for every replication.
+func (k *Kernel) Reserve(n int) {
+	if cap(k.arena)-len(k.arena) >= n {
+		return
+	}
+	k.arena = make([]Event, 0, n)
 }
 
 // ScheduleEventAt enqueues a reusable event (from NewEvent) at absolute
@@ -157,7 +180,7 @@ func (k *Kernel) ScheduleEventAt(ev *Event, t float64) error {
 	k.scheduled++
 	ev.time = t
 	ev.seq = k.seq
-	heap.Push(&k.queue, ev)
+	k.push(ev)
 	return nil
 }
 
@@ -172,8 +195,7 @@ func (k *Kernel) Cancel(ev *Event) {
 	if ev == nil || ev.index < 0 {
 		return
 	}
-	heap.Remove(&k.queue, ev.index)
-	ev.index = -1
+	k.remove(ev.index)
 	k.cancelled++
 }
 
@@ -186,8 +208,7 @@ func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&k.queue).(*Event)
-	ev.index = -1
+	ev := k.pop()
 	k.now = ev.time
 	k.fired++
 	ev.handler()
@@ -213,13 +234,16 @@ func (k *Kernel) RunUntil(horizon float64) {
 	}
 }
 
-// eventQueue is a binary heap of events ordered by (time, priority, seq).
-type eventQueue []*Event
+// The event list is a hand-rolled binary heap ordered by (time, priority,
+// seq). The ordering is a total order (sequence numbers are unique), so the
+// pop sequence is independent of the heap's internal layout — rewriting the
+// container/heap implementation into concrete, inlinable code changes no
+// trajectory. Sifts move a hole instead of swapping pairs: one write per
+// level plus a final placement, and the comparison never goes through an
+// interface.
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	a, b := q[i], q[j]
+// eventLess is the (time, priority, seq) order.
+func eventLess(a, b *Event) bool {
 	if a.time != b.time {
 		return a.time < b.time
 	}
@@ -229,23 +253,89 @@ func (q eventQueue) Less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// push appends ev and sifts it up to its position.
+func (k *Kernel) push(ev *Event) {
+	k.queue = append(k.queue, ev)
+	k.siftUp(len(k.queue) - 1)
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// pop removes and returns the earliest event, marking it not-pending.
+func (k *Kernel) pop() *Event {
+	q := k.queue
+	head := q[0]
+	head.index = -1
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if n > 0 {
+		q[0] = last
+		last.index = 0
+		k.siftDown(0)
+	}
+	return head
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// remove deletes the event at heap position i, marking it not-pending.
+func (k *Kernel) remove(i int) {
+	q := k.queue
+	q[i].index = -1
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	k.queue = q[:n]
+	if i < n {
+		q[i] = last
+		last.index = i
+		if !k.siftDown(i) {
+			k.siftUp(i)
+		}
+	}
+}
+
+// siftUp moves the event at position i toward the root until its parent
+// orders before it.
+func (k *Kernel) siftUp(i int) {
+	q := k.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		p := q[parent]
+		if !eventLess(ev, p) {
+			break
+		}
+		q[i] = p
+		p.index = i
+		i = parent
+	}
+	q[i] = ev
+	ev.index = i
+}
+
+// siftDown moves the event at position i toward the leaves until both
+// children order after it, reporting whether it moved.
+func (k *Kernel) siftDown(i int) bool {
+	q := k.queue
+	n := len(q)
+	ev := q[i]
+	start := i
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && eventLess(q[r], q[c]) {
+			c = r
+		}
+		child := q[c]
+		if !eventLess(child, ev) {
+			break
+		}
+		q[i] = child
+		child.index = i
+		i = c
+	}
+	q[i] = ev
+	ev.index = i
+	return i != start
 }

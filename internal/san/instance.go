@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"vcpusim/internal/des"
@@ -42,7 +43,7 @@ type Instance struct {
 	instants   []*actPlan
 	extBase    int
 	touchMasks []uint64
-	maskStride int
+	touchOps   [][]touchOp
 	mask111    bool
 
 	// events holds the reusable completion event of each timed activity,
@@ -72,10 +73,22 @@ type Instance struct {
 	// must be reset before every replication.
 	ready bool
 
+	// dirtyArena is the contiguous backing array of the three dirty
+	// bitsets — candTimed's words, then candInst's, then rateDirty's — so
+	// a place touch ORs into one small block of adjacent memory.
+	dirtyArena []uint64
+
 	// candTimed / candInst are the activities whose enabling must be
 	// reconsidered (dirty since last reconciliation); the program's
-	// wildcard sets are folded into them on every pass.
+	// wildcard sets are folded into them on every pass. Both are
+	// subslices of dirtyArena.
 	candTimed, candInst bitset
+
+	// stabRing records the instants-table indexes of the most recent
+	// instantaneous firings once a stabilization approaches the livelock
+	// cap, so the livelock error can name the cycling activities. Far
+	// from the cap the recording branch is never taken.
+	stabRing [stabRingLen]int32
 
 	// disabledTimed / disabledInst are activities administratively disabled
 	// via SetActivityEnabled: treated as never enabled regardless of their
@@ -103,9 +116,10 @@ type Instance struct {
 
 	// rateSt packs each rate reward's hot-path state — accumulator, reward
 	// function, cached value — into one struct so an observation touches a
-	// single cache line. rateDirty marks rewards whose watched places or
-	// activities changed since the last observation; the program's
-	// rateWildMask is re-copied into it after every pass.
+	// single cache line. rateDirty (a subslice of dirtyArena) marks rewards
+	// whose watched places or activities changed since the last
+	// observation; the program's rateWildMask is re-copied into it after
+	// every pass.
 	rateSt    []rateState
 	rateDirty bitset
 
@@ -130,14 +144,18 @@ func (p *Program) NewInstance() (*Instance, error) {
 		instants:   p.instants,
 		extBase:    p.extBase,
 		touchMasks: p.touchMasks,
-		maskStride: p.maskStride,
+		touchOps:   p.touchOps,
 		mask111:    p.mask111,
 		impulses:   make([]float64, len(m.impulses)),
-		candTimed:  newBitset(len(p.timed)),
-		candInst:   newBitset(len(p.instants)),
 		rateSt:     make([]rateState, len(m.rates)),
-		rateDirty:  newBitset(len(m.rates)),
 	}
+	// One contiguous arena for the three dirty sets: the program's touch
+	// masks and ops are compiled against this layout (candTimed's words at
+	// offset 0, candInst's at wT, rateDirty's at wT+wI).
+	in.dirtyArena = make([]uint64, p.wT+p.wI+p.wR)
+	in.candTimed = bitset(in.dirtyArena[:p.wT])
+	in.candInst = bitset(in.dirtyArena[p.wT : p.wT+p.wI])
+	in.rateDirty = bitset(in.dirtyArena[p.wT+p.wI:])
 	in.failFn = in.fail
 	if p.maxCases > 0 {
 		in.caseWeights = make([]float64, p.maxCases)
@@ -148,6 +166,7 @@ func (p *Program) NewInstance() (*Instance, error) {
 	in.warmIntegral = make([]float64, len(in.rateSt))
 	in.warmImpulses = make([]float64, len(in.impulses))
 	in.events = make([]*des.Event, len(p.timed))
+	in.kernel.Reserve(len(p.timed))
 	for i, ap := range p.timed {
 		i := i
 		ev, err := in.kernel.NewEvent(ap.act.priority, ap.act.name, func() { in.complete(i) })
@@ -285,35 +304,28 @@ func (in *Instance) SetFireHooks(pre, post func(a *Activity)) {
 // touchID marks a place dirty (token places use their id, extended places
 // extBase+id): every activity reading it becomes an enabling-
 // reconsideration candidate and every rate reward watching it is
-// re-evaluated at the next observation. Callers gate on in.tracking: only
-// gate execution records dirt. Models up to 64 timed activities, 64
-// instantaneous activities, and 64 rate rewards take the three-word fast
-// path; larger ones fall through to the general stride loop.
+// re-evaluated at the next observation. Closure callers gate on
+// in.tracking (only gate execution records dirt); compiled firing steps
+// touch directly. Models up to 64 timed activities, 64 instantaneous
+// activities, and 64 rate rewards take the three-adjacent-word fast path
+// into the dirty arena; larger ones apply the place's sparse op list.
 func (in *Instance) touchID(id int) {
 	if in.mask111 {
-		b := id * 3
-		in.candTimed[0] |= in.touchMasks[b]
-		in.candInst[0] |= in.touchMasks[b+1]
-		in.rateDirty[0] |= in.touchMasks[b+2]
+		m := in.touchMasks[id*3:]
+		ar := in.dirtyArena
+		_, _ = m[2], ar[2]
+		ar[0] |= m[0]
+		ar[1] |= m[1]
+		ar[2] |= m[2]
 		return
 	}
 	in.touchWide(id)
 }
 
 func (in *Instance) touchWide(id int) {
-	row := in.touchMasks[id*in.maskStride : (id+1)*in.maskStride]
-	o := 0
-	for w := range in.candTimed {
-		in.candTimed[w] |= row[o]
-		o++
-	}
-	for w := range in.candInst {
-		in.candInst[w] |= row[o]
-		o++
-	}
-	for w := range in.rateDirty {
-		in.rateDirty[w] |= row[o]
-		o++
+	ar := in.dirtyArena
+	for _, op := range in.touchOps[id] {
+		ar[op.word] |= op.mask
 	}
 }
 
@@ -426,7 +438,10 @@ func (in *Instance) snapshotWarmup() {
 // is selected by weight and its output gate runs. Gate execution runs with
 // dirty tracking on; once a fatal error is recorded the remaining gate
 // stages are skipped, so a failed replication never mutates the marking
-// past the error point.
+// past the error point. Activities whose gates are purely counted arcs take
+// the compiled path: the same marking steps — same order, same
+// negative/capacity checks, same dirty touches — applied directly from the
+// firing plan, with no closure calls.
 func (in *Instance) fire(ap *actPlan) {
 	a := ap.act
 	a.completed++
@@ -434,28 +449,38 @@ func (in *Instance) fire(ap *actPlan) {
 	if in.preFire != nil {
 		in.preFire(a)
 	}
-	in.tracking = true
-	for _, fn := range a.inputFns {
-		fn()
-		if in.failed != nil {
-			in.tracking = false
-			return
+	if ap.fireCompiled {
+		for _, st := range ap.fireArcs {
+			in.applyArcStep(st)
+			if in.failed != nil {
+				return
+			}
 		}
-	}
-	var c Case
-	if len(a.cases) == 1 {
-		c = a.cases[0]
+		// The implicit single case has an empty output gate: nothing to run.
 	} else {
-		c = in.chooseCase(a)
+		in.tracking = true
+		for _, fn := range a.inputFns {
+			fn()
+			if in.failed != nil {
+				in.tracking = false
+				return
+			}
+		}
+		var c *Case
+		if len(a.cases) == 1 {
+			c = &a.cases[0]
+		} else {
+			c = in.chooseCase(a)
+			if in.failed != nil {
+				in.tracking = false
+				return
+			}
+		}
+		c.Output()
+		in.tracking = false
 		if in.failed != nil {
-			in.tracking = false
 			return
 		}
-	}
-	c.Output()
-	in.tracking = false
-	if in.failed != nil {
-		return
 	}
 	if in.postFire != nil {
 		in.postFire(a)
@@ -468,15 +493,67 @@ func (in *Instance) fire(ap *actPlan) {
 	}
 }
 
+// applyArcStep applies one counted arc's marking change, mirroring
+// Place.SetTokens exactly: negative markings are recorded as modeling
+// errors and clamped to zero, capacity overflows are recorded, and the
+// place's dependents are marked dirty. Gate closures reach the same code
+// through Place.Add; the compiled firing plan calls it directly.
+func (in *Instance) applyArcStep(st arcStep) {
+	p := st.p
+	n := p.tokens + st.delta
+	if n < 0 {
+		p.model.addErr(fmt.Errorf("san: place %s marked negative (%d)", p.name, n))
+		n = 0
+	}
+	if p.capacity > 0 && n > p.capacity {
+		p.model.addErr(fmt.Errorf("san: place %s marked %d, above its declared capacity %d", p.name, n, p.capacity))
+	}
+	p.tokens = n
+	in.touchID(p.id)
+}
+
+// enabledPlan evaluates an activity's enabling condition, through the
+// compiled arc predicates when the activity has no opaque gate predicate —
+// the same conjunction, in the same short-circuit order, without the
+// closure calls.
+func (in *Instance) enabledPlan(ap *actPlan) bool {
+	if ap.enabCompiled {
+		for _, ar := range ap.enabArcs {
+			if ar.p.tokens < ar.n {
+				return false
+			}
+		}
+		return true
+	}
+	return ap.act.enabled()
+}
+
+// sampleDelay draws an activity's completion delay, through compiled
+// arithmetic for the common stationary distributions (identical formulas
+// and RNG draws to Distribution.Sample) and through the activity's delay
+// function otherwise.
+func (in *Instance) sampleDelay(ap *actPlan) float64 {
+	switch ap.delayKind {
+	case delayDet:
+		return ap.delayA
+	case delayExp:
+		return -math.Log(1-in.src.Float64()) / ap.delayA
+	case delayUniform:
+		return ap.delayA + (ap.delayB-ap.delayA)*in.src.Float64()
+	default:
+		return ap.act.delay(in.src)
+	}
+}
+
 // chooseCase selects one case by normalized weight.
-func (in *Instance) chooseCase(a *Activity) Case {
+func (in *Instance) chooseCase(a *Activity) *Case {
 	if len(a.cases) == 1 {
-		return a.cases[0]
+		return &a.cases[0]
 	}
 	total := 0.0
 	weights := in.caseWeights[:len(a.cases)]
-	for i, c := range a.cases {
-		w := c.Weight()
+	for i := range a.cases {
+		w := a.cases[i].Weight()
 		if w < 0 {
 			in.fail(fmt.Errorf("san: negative case weight on %s", a.name))
 			w = 0
@@ -486,17 +563,17 @@ func (in *Instance) chooseCase(a *Activity) Case {
 	}
 	if total <= 0 {
 		in.fail(fmt.Errorf("san: all case weights zero on %s", a.name))
-		return a.cases[0]
+		return &a.cases[0]
 	}
 	u := in.src.Float64() * total
 	acc := 0.0
 	for i, w := range weights {
 		acc += w
 		if u < acc {
-			return a.cases[i]
+			return &a.cases[i]
 		}
 	}
-	return a.cases[len(a.cases)-1]
+	return &a.cases[len(a.cases)-1]
 }
 
 // stabilize fires enabled instantaneous activities in (priority, definition)
@@ -505,45 +582,96 @@ func (in *Instance) chooseCase(a *Activity) Case {
 // wildcard set — are re-examined: an instantaneous activity that was
 // disabled at the end of the previous stabilization stays disabled until
 // some firing touches a place it reads.
+//
+// After a firing the scan normally restarts from priority zero (a marking
+// change can enable anything). Firings of fused activities — compiled
+// gate-free firings whose written places provably have no dependent
+// instantaneous activity earlier in the scan order — skip the restart and
+// continue in place instead: every candidate before the scan position is
+// already cleared and cannot have been re-enabled, so the continued scan
+// visits exactly the candidates, in exactly the order, a restart would.
+// The firing sequence (and so the trajectory) is bit-identical; only the
+// number of bitset scans changes.
 func (in *Instance) stabilize() error {
-	for n := 0; ; n++ {
-		if n > stabilizeCap {
-			err := fmt.Errorf("san: instantaneous livelock in model %q at t=%g", in.prog.model.Name(), in.kernel.Now())
-			in.fail(err)
-			return err
+	n := 0 // completed instantaneous firings in this stabilization
+	wildAny := in.prog.wildInstAny
+	for {
+		if wildAny {
+			in.candInst.or(in.prog.wildInst)
 		}
-		in.candInst.or(in.prog.wildInst)
 		fired := false
-		for i := in.candInst.next(0); i >= 0; i = in.candInst.next(i + 1) {
+		i := in.candInst.next(0)
+		for i >= 0 {
 			ap := in.instants[i]
 			in.candInst.clear(i)
 			if in.anyDisabled && in.disabledInst.has(i) {
+				i = in.candInst.next(i + 1)
 				continue
 			}
-			if ap.act.enabled() {
-				in.fire(ap)
-				in.instFirings++
-				if in.actFirings != nil {
-					in.actFirings[len(in.timed)+i]++
-				}
-				// The firing may have left the activity enabled (its own
-				// reads untouched): keep it a candidate so the restarted
-				// scan re-examines it, as a full scan would.
-				in.candInst.set(i)
-				fired = true
-				break // restart the priority scan after each marking change
+			if !in.enabledPlan(ap) {
+				i = in.candInst.next(i + 1)
+				continue
 			}
+			in.fire(ap)
+			in.instFirings++
+			if in.actFirings != nil {
+				in.actFirings[len(in.timed)+i]++
+			}
+			// The firing may have left the activity enabled (its own
+			// reads untouched): keep it a candidate so the next scan
+			// re-examines it, as a full scan would.
+			in.candInst.set(i)
+			fired = true
+			if in.failed != nil {
+				break
+			}
+			n++
+			if n+stabRingLen > stabilizeCap {
+				// Approaching the livelock cap: record the firing so the
+				// error can name the cycle. Never taken in healthy models.
+				in.stabRing[n%stabRingLen] = int32(i)
+				if n > stabilizeCap {
+					err := in.livelockErr(n)
+					in.fail(err)
+					return err
+				}
+			}
+			if ap.fuseCont && !in.anyDisabled {
+				// Fused continuation: re-test this activity first (its bit
+				// is set), then walk on. next(i) lands on i itself.
+				i = in.candInst.next(i)
+				continue
+			}
+			break // restart the priority scan after the marking change
 		}
 		if in.failed != nil {
 			in.noteStabDepth(n)
 			return in.failed
 		}
 		if !fired {
-			// n iterations ran, each but this one firing exactly once.
 			in.noteStabDepth(n)
 			return nil
 		}
 	}
+}
+
+// livelockErr builds the stabilization-cap error, naming the activities the
+// last stabRingLen firings cycled through (in order of first appearance in
+// the recorded window) so the report points at the cycle instead of only
+// its depth.
+func (in *Instance) livelockErr(n int) error {
+	var names []string
+	seen := newBitset(len(in.instants))
+	for k := n - stabRingLen + 1; k <= n; k++ {
+		idx := int(in.stabRing[((k%stabRingLen)+stabRingLen)%stabRingLen])
+		if idx < 0 || idx >= len(in.instants) || seen.has(idx) {
+			continue
+		}
+		seen.set(idx)
+		names = append(names, in.instants[idx].act.name)
+	}
+	return fmt.Errorf("san: instantaneous livelock in model %q at t=%g: last %d firings cycle through %s",
+		in.prog.model.Name(), in.kernel.Now(), stabRingLen, strings.Join(names, ", "))
 }
 
 // noteStabDepth records one stabilization's firing count.
@@ -562,19 +690,21 @@ func (in *Instance) noteStabDepth(n int) {
 // scan visits them — so the sequence of RNG delay draws is bit-identical
 // to the pre-index engine's.
 func (in *Instance) refresh() {
-	in.candTimed.or(in.prog.wildTimed)
+	if in.prog.wildTimedAny {
+		in.candTimed.or(in.prog.wildTimed)
+	}
 	for i := in.candTimed.next(0); i >= 0; i = in.candTimed.next(i + 1) {
 		in.candTimed.clear(i)
 		ap := in.timed[i]
 		ev := in.events[i]
 		scheduled := ev.Pending()
-		enabled := ap.act.enabled()
+		enabled := in.enabledPlan(ap)
 		if in.anyDisabled && in.disabledTimed.has(i) {
 			enabled = false
 		}
 		switch {
 		case enabled && !scheduled:
-			delay := ap.act.delay(in.src)
+			delay := in.sampleDelay(ap)
 			if delay < 0 || math.IsNaN(delay) {
 				in.fail(fmt.Errorf("san: activity %s sampled invalid delay %g", ap.act.name, delay))
 				return

@@ -2,14 +2,48 @@ package san
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+
+	"vcpusim/internal/rng"
 )
 
-// actPlan is the compiled execution plan of one activity: its identity plus
-// the precomputed reward fan-out of a completion, so firing never scans the
-// model's reward lists. Plans are immutable after Compile; all mutable
-// per-replication state lives on the Instance.
+// Compiled delay kinds: the common stationary distributions are compiled
+// into direct arithmetic so the refresh path samples without a closure call
+// or interface dispatch. The formulas are copied verbatim from internal/rng
+// (one Float64 draw for exponential/uniform, none for deterministic), so
+// the sampled values — and the RNG stream position — are bit-identical to
+// calling Distribution.Sample.
+const (
+	delayFn      uint8 = iota // marking-dependent or uncommon: call act.delay
+	delayDet                  // Deterministic{Value: A}
+	delayExp                  // Exponential{Rate: A}
+	delayUniform              // Uniform{Low: A, High: B}
+)
+
+// arcPred is one InputArc's enabling term: the place must hold at least n
+// tokens. Lowered from the activity's arc-flagged links, it lets the
+// executor evaluate enabling directly from the marking, without calling
+// gate closures.
+type arcPred struct {
+	p *Place
+	n int
+}
+
+// arcStep is one counted arc's marking effect (consume for input arcs,
+// produce for output arcs), in input-function order. For activities whose
+// gates consist purely of counted arcs, the step list is the whole firing.
+type arcStep struct {
+	p     *Place
+	delta int
+}
+
+// actPlan is the compiled execution plan of one activity: its identity, the
+// precomputed reward fan-out of a completion, and — when the activity's
+// gates are counted arcs — closure-free enabling and firing plans. Plans
+// are immutable after Compile; all mutable per-replication state lives on
+// the Instance.
 type actPlan struct {
 	act *Activity
 	// impulseIdx are the model impulse-reward indexes triggered by this
@@ -18,13 +52,57 @@ type actPlan struct {
 	// rateIdx are the model rate-reward indexes whose Refs document this
 	// activity (completion-count rewards): dirtied on every firing.
 	rateIdx []int32
+
+	// enabArcs, when enabCompiled, is the activity's entire enabling
+	// predicate as data: enabled ⇔ every arc place holds its token count.
+	// Compiled only when the activity has no opaque Predicate, so the test
+	// is exactly the conjunction the closures would compute.
+	enabArcs     []arcPred
+	enabCompiled bool
+
+	// fireArcs, when fireCompiled, is the activity's entire firing effect
+	// as data: the counted-arc marking steps in input-function order,
+	// followed by the implicit empty case. Compiled only when the activity
+	// has no opaque InputFunc and no case (gate-free), so applying the
+	// steps is exactly what the closures would do — including the
+	// negative-marking and capacity checks and the dirty-place touches.
+	fireArcs     []arcStep
+	fireCompiled bool
+
+	// fuseCont marks instantaneous gate-free activities whose firing can
+	// only dirty the enabling of activities at or after their own position
+	// in the (priority, definition) firing order. After such a firing the
+	// stabilization scan continues in place — re-testing the activity
+	// itself, then walking forward into the fused chain — instead of
+	// restarting from priority zero, because no earlier activity can have
+	// become enabled. Compiled false whenever the model has wildcard
+	// instantaneous activities (their reads are undocumented, so every
+	// marking change must re-test them).
+	fuseCont bool
+
+	// Compiled delay sampler (timed activities): delayKind selects direct
+	// arithmetic with parameters delayA/delayB, or the activity's delay
+	// function for marking-dependent and uncommon distributions.
+	delayKind      uint8
+	delayA, delayB float64
+}
+
+// touchOp ORs one precompiled incidence mask into one word of an instance's
+// dirty arena (candTimed words first, then candInst, then rateDirty). Wide
+// models store a sparse op list per place — typically one or two nonzero
+// words — instead of a full three-set stride row.
+type touchOp struct {
+	word int32
+	mask uint64
 }
 
 // Program is the compiled, immutable executive of one Model: activity
-// tables in firing order, the reward fan-out, and the place → activity
-// incidence index flattened into per-place bitmask rows. A Program is
-// compiled once per model and shared by every Instance derived from it;
-// nothing on it changes during a run.
+// tables in firing order, the reward fan-out, and the enabling-dependency
+// graph — for each place, exactly the activities whose enabling predicate
+// (input arcs and gate reads) and the rate rewards whose value can change
+// when that place's marking changes — lowered into per-place touch masks.
+// A Program is compiled once per model and shared by every Instance derived
+// from it; nothing on it changes during a run.
 //
 // Because the model's marking lives on the Model itself (gate closures
 // capture places directly), instances of the same Program share that
@@ -44,21 +122,35 @@ type Program struct {
 	// space: token places occupy [0, len(places)), extended places follow.
 	extBase int
 
-	// touchMasks is the mask-compiled incidence index: for each place id,
-	// maskStride consecutive words — candTimed's words, then candInst's,
-	// then rateDirty's — ORed into an instance's live sets when the place
-	// changes. mask111 marks the common one-word-per-set layout served by
-	// touchID's fast path.
+	// deps is the enabling-dependency graph the touch masks are lowered
+	// from, retained for diagnostics (livelock reports), analysis, and
+	// tests: per place id, the firing-table indexes of dependent timed
+	// activities, instantaneous activities, and rate rewards.
+	deps incidence
+	// placeIDs resolves fully qualified place names (token and extended)
+	// to their incidence ids.
+	placeIDs map[string]int
+
+	// wT/wI/wR are the word counts of the three dirty bitsets laid out
+	// consecutively in an instance's dirty arena.
+	wT, wI, wR int
+
+	// touchMasks is the dense mask layout used when each dirty set fits in
+	// one word (mask111): three consecutive words per place id, ORed onto
+	// the arena's first three words. Wider models use touchOps: a sparse
+	// per-place list of (word, mask) ops into the arena.
 	touchMasks []uint64
-	maskStride int
+	touchOps   [][]touchOp
 	mask111    bool
 
 	// wildTimed / wildInst are the activities with undocumented reads,
 	// folded into an instance's candidate sets on every pass; rateWildMask
 	// holds the rate rewards without usable Refs, re-evaluated at every
-	// observation. All three are read-only after Compile.
-	wildTimed, wildInst bitset
-	rateWildMask        bitset
+	// observation. All three are read-only after Compile. The *Any flags
+	// let the hot paths skip the fold when the sets are empty.
+	wildTimed, wildInst       bitset
+	wildTimedAny, wildInstAny bool
+	rateWildMask              bitset
 
 	// maxCases sizes the per-instance case-weight scratch buffer.
 	maxCases int
@@ -95,13 +187,87 @@ func (p *Program) activityRef(name string) (actRef, bool) {
 // Model returns the model the program was compiled from.
 func (p *Program) Model() *Model { return p.model }
 
+// Dependents returns, for the named place (token or extended), the fully
+// qualified names of the timed activities, instantaneous activities, and
+// rate rewards the compiled enabling-dependency graph re-tests when the
+// place's marking changes. ok is false when the place is unknown.
+// Activities with undocumented reads are not listed per place; they are in
+// WildcardActivities and re-tested on every pass.
+func (p *Program) Dependents(place string) (timed, inst, rates []string, ok bool) {
+	id, ok := p.placeIDs[place]
+	if !ok {
+		return nil, nil, nil, false
+	}
+	for _, i := range p.deps.timed[id] {
+		timed = append(timed, p.timed[i].act.name)
+	}
+	for _, i := range p.deps.inst[id] {
+		inst = append(inst, p.instants[i].act.name)
+	}
+	for _, i := range p.deps.rates[id] {
+		rates = append(rates, p.model.rates[i].Name)
+	}
+	return timed, inst, rates, true
+}
+
+// WildcardActivities returns the names of activities whose enabling reads
+// are not fully documented by input links: they fall outside the
+// dependency graph and are reconsidered on every pass.
+func (p *Program) WildcardActivities() []string {
+	var names []string
+	for i := p.wildTimed.next(0); i >= 0; i = p.wildTimed.next(i + 1) {
+		names = append(names, p.timed[i].act.name)
+	}
+	for i := p.wildInst.next(0); i >= 0; i = p.wildInst.next(i + 1) {
+		names = append(names, p.instants[i].act.name)
+	}
+	return names
+}
+
+// FusedActivities returns the names of the instantaneous activities
+// compiled for fused-chain continuation (gate-free, and provably unable to
+// enable anything earlier in the priority scan), in firing order.
+func (p *Program) FusedActivities() []string {
+	var names []string
+	for _, ap := range p.instants {
+		if ap.fuseCont {
+			names = append(names, ap.act.name)
+		}
+	}
+	return names
+}
+
+// compileConfig holds Compile's option state.
+type compileConfig struct {
+	noFuse bool
+}
+
+// CompileOption customizes Compile.
+type CompileOption func(*compileConfig)
+
+// WithoutFusion disables fused-chain continuation: every instantaneous
+// firing restarts the priority scan, as the pre-fusion executor did. The
+// trajectory is bit-identical either way (the equivalence tests pin it);
+// the option exists for exactly those tests and for isolating fusion when
+// debugging a model.
+func WithoutFusion() CompileOption {
+	return func(c *compileConfig) { c.noFuse = true }
+}
+
 // Compile validates model and compiles its immutable execution plan: the
-// activity firing orders, the per-activity reward fan-out, and the
-// place-incidence bitmask index. The model's marking is untouched;
-// Instance.Reset restores it before each replication.
-func Compile(model *Model) (*Program, error) {
+// activity firing orders, the per-activity reward fan-out, the
+// enabling-dependency graph with its per-place touch masks, closure-free
+// enabling and firing plans for counted-arc gates, and fused-chain marks
+// for instantaneous activities that cannot re-enable earlier ones. The
+// model's marking is untouched; Instance.Reset restores it before each
+// replication.
+func Compile(model *Model, opts ...CompileOption) (*Program, error) {
 	if err := model.Validate(); err != nil {
 		return nil, fmt.Errorf("san: model %q invalid: %w", model.Name(), err)
+	}
+	var cfg compileConfig
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	m := model
 	p := &Program{model: m}
@@ -151,6 +317,7 @@ func Compile(model *Model) (*Program, error) {
 	for i, pl := range m.extPlaces {
 		places[pl.Name()] = p.extBase + i // NewExtPlace assigns ids in creation order
 	}
+	p.placeIDs = places
 	inc := newIncidence(len(m.places) + len(m.extPlaces))
 
 	p.wildTimed = newBitset(len(p.timed))
@@ -201,12 +368,20 @@ func Compile(model *Model) (*Program, error) {
 	for i, ap := range p.instants {
 		addReaders(ap.act, i, false)
 	}
+	p.wildTimedAny = p.wildTimed.any()
+	p.wildInstAny = p.wildInst.any()
 
 	// Rate rewards: Refs → watched places or completion-counted activities.
+	// Activity refs are rare (most refs are places, resolved by the map),
+	// so they take a linear scan instead of a second name map.
 	p.rateWildMask = newBitset(len(m.rates))
-	activityByName := make(map[string]*actPlan, len(m.activities))
-	for _, a := range m.activities {
-		activityByName[a.name] = plan[a]
+	activityPlan := func(name string) *actPlan {
+		for _, a := range m.activities {
+			if a.name == name {
+				return plan[a]
+			}
+		}
+		return nil
 	}
 	for i, rr := range m.rates {
 		if len(rr.Refs) == 0 {
@@ -218,27 +393,133 @@ func Compile(model *Model) (*Program, error) {
 				inc.rates[pid] = append(inc.rates[pid], int32(i))
 				continue
 			}
-			if ap := activityByName[ref]; ap != nil {
+			if ap := activityPlan(ref); ap != nil {
 				ap.rateIdx = append(ap.rateIdx, int32(i))
 				continue
 			}
 			p.rateWildMask.set(i)
 		}
 	}
+	p.deps = inc
 
-	// Compile the incidence lists into flat per-place masks: touching a
-	// place ORs one contiguous run of words into the live candidate and
-	// rate-dirty sets, however many readers the place has.
-	wT := len(newBitset(len(p.timed)))
-	wI := len(newBitset(len(p.instants)))
-	wR := len(newBitset(len(m.rates)))
-	p.maskStride = wT + wI + wR
-	p.mask111 = wT == 1 && wI == 1 && wR == 1
+	// Closure-free plans, reconstructed from the arc-flagged links (for
+	// those, the documented (place, count) IS the installed gate
+	// semantics, in creation order — the closures' execution order).
+	// Enabling compiles whenever every predicate is a counted input arc;
+	// firing compiles whenever additionally every input function is a
+	// counted arc and the only case is the implicit empty one. The gate*
+	// counters distinguish arc-installed components from opaque ones. All
+	// plans share two exact-capacity pools, so compiling arcs costs two
+	// allocations however many activities have them.
+	var predPool []arcPred
+	var stepPool []arcStep
+	nPred, nStep := 0, 0
+	for _, a := range m.activities {
+		for _, l := range a.links {
+			if !l.arc {
+				continue
+			}
+			nStep++
+			if l.Kind == LinkInput {
+				nPred++
+			}
+		}
+	}
+	predPool = make([]arcPred, 0, nPred)
+	stepPool = make([]arcStep, 0, nStep)
+	compilePlans := func(ap *actPlan) {
+		a := ap.act
+		predStart, stepStart := len(predPool), len(stepPool)
+		for _, l := range a.links {
+			if !l.arc {
+				continue
+			}
+			pid, found := places[l.Place]
+			if !found || pid >= p.extBase {
+				// Arc to a place outside this model: leave the closures in
+				// charge (they captured the actual place).
+				predPool = predPool[:predStart]
+				stepPool = stepPool[:stepStart]
+				return
+			}
+			pl := m.places[pid]
+			if l.Kind == LinkInput {
+				predPool = append(predPool, arcPred{p: pl, n: l.Tokens})
+				stepPool = append(stepPool, arcStep{p: pl, delta: -l.Tokens})
+			} else {
+				stepPool = append(stepPool, arcStep{p: pl, delta: l.Tokens})
+			}
+		}
+		preds := predPool[predStart:len(predPool):len(predPool)]
+		steps := stepPool[stepStart:len(stepPool):len(stepPool)]
+		if a.gatePreds == 0 && len(preds) == len(a.preds) {
+			ap.enabArcs = preds
+			ap.enabCompiled = true
+		}
+		if a.gateFns == 0 && a.gateCases == 0 && len(steps) == len(a.inputFns) {
+			ap.fireArcs = steps
+			ap.fireCompiled = true
+		}
+	}
+	for _, ap := range p.timed {
+		compilePlans(ap)
+		ap.delayKind = delayFn
+		switch d := ap.act.dist.(type) {
+		case rng.Deterministic:
+			ap.delayKind, ap.delayA = delayDet, d.Value
+		case rng.Exponential:
+			ap.delayKind, ap.delayA = delayExp, d.Rate
+		case rng.Uniform:
+			ap.delayKind, ap.delayA, ap.delayB = delayUniform, d.Low, d.High
+		}
+	}
+	for _, ap := range p.instants {
+		compilePlans(ap)
+	}
+
+	// Fused-chain marks: an instantaneous gate-free firing whose touched
+	// places have no dependent instantaneous activity earlier than itself
+	// cannot enable anything the priority scan already passed, so the scan
+	// may continue in place. Disabled model-wide by wildcard instantaneous
+	// activities (undocumented reads must be re-tested after every change)
+	// and by the WithoutFusion option.
+	if !cfg.noFuse && !p.wildInstAny {
+		for i, ap := range p.instants {
+			if !ap.fireCompiled {
+				continue
+			}
+			minDep := math.MaxInt
+			for _, st := range ap.fireArcs {
+				for _, d := range inc.inst[st.p.id] {
+					if int(d) < minDep {
+						minDep = int(d)
+					}
+				}
+			}
+			if minDep >= i {
+				ap.fuseCont = true
+			}
+		}
+	}
+
+	// Lower the dependency graph into per-place touch masks: touching a
+	// place ORs precompiled masks into the instance's dirty arena, which
+	// lays the three dirty sets out consecutively (candTimed words, then
+	// candInst, then rateDirty). Models whose sets each fit in one word
+	// take a dense three-words-per-place layout; wider models get sparse
+	// per-place op lists covering only the nonzero words.
+	p.wT = (len(p.timed) + 63) / 64
+	p.wI = (len(p.instants) + 63) / 64
+	p.wR = (len(m.rates) + 63) / 64
+	p.mask111 = p.wT == 1 && p.wI == 1 && p.wR == 1
 	ids := len(m.places) + len(m.extPlaces)
-	p.touchMasks = make([]uint64, ids*p.maskStride)
+	stride := p.wT + p.wI + p.wR
+	rows := make([]uint64, ids*stride)
 	for id := 0; id < ids; id++ {
-		row := p.touchMasks[id*p.maskStride : (id+1)*p.maskStride]
-		mt, mi, mr := bitset(row[:wT]), bitset(row[wT:wT+wI]), bitset(row[wT+wI:])
+		row := rows[id*stride : (id+1)*stride]
+		mt := bitset(row[:p.wT])
+		mi := bitset(row[p.wT : p.wT+p.wI])
+		mr := bitset(row[p.wT+p.wI:])
 		for _, i := range inc.timed[id] {
 			mt.set(int(i))
 		}
@@ -247,6 +528,22 @@ func Compile(model *Model) (*Program, error) {
 		}
 		for _, i := range inc.rates[id] {
 			mr.set(int(i))
+		}
+	}
+	if p.mask111 {
+		p.touchMasks = rows
+	} else {
+		p.touchOps = make([][]touchOp, ids)
+		var ops []touchOp // one backing array for all places
+		for id := 0; id < ids; id++ {
+			row := rows[id*stride : (id+1)*stride]
+			start := len(ops)
+			for w, mask := range row {
+				if mask != 0 {
+					ops = append(ops, touchOp{word: int32(w), mask: mask})
+				}
+			}
+			p.touchOps[id] = ops[start:len(ops):len(ops)]
 		}
 	}
 	return p, nil

@@ -4,6 +4,11 @@ package san
 // advances; exceeding it indicates an instantaneous livelock in the model.
 const stabilizeCap = 1 << 20
 
+// stabRingLen is how many trailing instantaneous firings the instance
+// records once a stabilization comes within stabRingLen of the cap, so the
+// livelock error can name the activities in the cycle.
+const stabRingLen = 64
+
 // ctxCheckInterval is how many kernel events fire between context
 // cancellation checks in RunIntervalContext: frequent enough that a
 // cancelled experiment stops a long replication promptly, sparse enough

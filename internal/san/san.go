@@ -197,6 +197,12 @@ type Link struct {
 	Kind   LinkKind
 	Place  string
 	Tokens int
+	// arc marks links created by InputArc/OutputArc: for these the
+	// documented (place, count) IS the installed gate semantics, so Compile
+	// may reconstruct the predicate and marking effect from the link alone.
+	// LinkN records the same shape as documentation only; the analyzer
+	// trusts it, the executor does not.
+	arc bool
 }
 
 // Activity is a SAN activity.
@@ -217,7 +223,9 @@ type Activity struct {
 	// added directly (Predicate, InputFunc, AddCase), as opposed to the
 	// ones the counted-arc conveniences create. Structural analysis uses
 	// them to tell activities whose semantics ARE their documented arcs
-	// from activities with behavior the documentation only approximates.
+	// from activities with behavior the documentation only approximates;
+	// the compiled executor uses them to decide when the arc records above
+	// fully describe the activity.
 	gatePreds, gateFns, gateCases int
 }
 
@@ -308,10 +316,17 @@ func (a *Activity) LinkN(kind LinkKind, placeName string, n int) *Activity {
 	return a.linkTokens(kind, placeName, n)
 }
 
-// linkTokens documents a connection with a fixed token count (InputArc /
-// OutputArc convenience arcs).
+// linkTokens documents a connection with a fixed token count (LinkN).
 func (a *Activity) linkTokens(kind LinkKind, placeName string, n int) *Activity {
 	a.links = append(a.links, Link{Kind: kind, Place: placeName, Tokens: n})
+	return a
+}
+
+// arcLink records an InputArc/OutputArc connection: the same counted link,
+// flagged as carrying the gate semantics itself so Compile can lower the
+// arc into the closure-free enabling and firing plans.
+func (a *Activity) arcLink(kind LinkKind, placeName string, n int) *Activity {
+	a.links = append(a.links, Link{Kind: kind, Place: placeName, Tokens: n, arc: true})
 	return a
 }
 
@@ -335,7 +350,7 @@ func (a *Activity) enabled() bool {
 func (a *Activity) InputArc(p *Place, n int) *Activity {
 	a.addPredicate(func() bool { return p.Tokens() >= n })
 	a.addInputFunc(func() { p.Add(-n) })
-	return a.linkTokens(LinkInput, p.Name(), n)
+	return a.arcLink(LinkInput, p.Name(), n)
 }
 
 // OutputArc is a convenience: produces n tokens in p on completion. It must
@@ -343,7 +358,7 @@ func (a *Activity) InputArc(p *Place, n int) *Activity {
 // production happens before case outputs.
 func (a *Activity) OutputArc(p *Place, n int) *Activity {
 	a.addInputFunc(func() { p.Add(n) })
-	return a.linkTokens(LinkOutput, p.Name(), n)
+	return a.arcLink(LinkOutput, p.Name(), n)
 }
 
 // RateReward is a reward variable accumulated as the time integral of a
