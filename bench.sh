@@ -56,7 +56,7 @@ json)
     # iteration count float with machine load, which moves the measured
     # work itself between runs. 50 iterations x count=10 with median
     # aggregation in benchjson is the recording protocol (EXPERIMENTS.md).
-    go test -run '^$' -bench 'BenchmarkRunnerFig8$|BenchmarkRunnerTandem/stations=64' \
+    go test -run '^$' -bench 'BenchmarkRunnerFig8$|BenchmarkRunnerFig8V2$|BenchmarkRunnerTandem/stations=64|BenchmarkRunnerTandemV2/stations=64' \
         -benchtime 50x -count=10 -benchmem ./internal/core ./internal/san |
         go run ./cmd/benchjson -out "$out" -label "$label"
     ;;

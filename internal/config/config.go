@@ -13,6 +13,7 @@ import (
 	"vcpusim/internal/core"
 	"vcpusim/internal/faults"
 	"vcpusim/internal/rng"
+	"vcpusim/internal/san"
 	"vcpusim/internal/sched"
 	"vcpusim/internal/sim"
 	"vcpusim/internal/workload"
@@ -151,6 +152,11 @@ type Experiment struct {
 	Replications Replications `json:"replications,omitempty"`
 	// Faults is an optional fault-injection campaign (SAN engine only).
 	Faults *faults.Plan `json:"faults,omitempty"`
+	// Contract is the determinism contract version (1 or 2); default 1,
+	// the byte-frozen original engine. 2 selects the ziggurat-sampling
+	// calendar-queue fast path, whose trajectories are self-reproducible
+	// but diverge from v1's.
+	Contract int `json:"contract,omitempty"`
 }
 
 // Parse reads and validates an Experiment from JSON.
@@ -176,6 +182,12 @@ func Parse(r io.Reader) (*Experiment, error) {
 	if e.Faults != nil && e.Engine != "san" {
 		return nil, fmt.Errorf("config: fault plans perturb the SAN executive; set \"engine\": \"san\"")
 	}
+	if e.Contract == 0 {
+		e.Contract = san.DefaultContract
+	}
+	if e.Contract != san.ContractV1 && e.Contract != san.ContractV2 {
+		return nil, fmt.Errorf("config: contract must be %d or %d, got %d", san.ContractV1, san.ContractV2, e.Contract)
+	}
 	if _, err := e.SystemConfig(); err != nil {
 		return nil, err
 	}
@@ -187,7 +199,7 @@ func Parse(r io.Reader) (*Experiment, error) {
 
 // SystemConfig builds the core configuration.
 func (e *Experiment) SystemConfig() (core.SystemConfig, error) {
-	cfg := core.SystemConfig{PCPUs: e.PCPUs, Timeslice: e.Timeslice, Faults: e.Faults}
+	cfg := core.SystemConfig{PCPUs: e.PCPUs, Timeslice: e.Timeslice, Faults: e.Faults, Contract: e.Contract}
 	for i, vm := range e.VMs {
 		dist, err := vm.Load.Build()
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"vcpusim/internal/faults"
+	"vcpusim/internal/san"
 	"vcpusim/internal/workload"
 )
 
@@ -43,6 +44,10 @@ type SystemConfig struct {
 	// the fault hooks then cost nothing and the model is byte-identical
 	// to one built before the faults subsystem existed.
 	Faults *faults.Plan
+	// Contract is the determinism contract version the SAN program is
+	// compiled under (san.ContractV1 or san.ContractV2); 0 selects
+	// san.DefaultContract, i.e. the byte-frozen v1 engine.
+	Contract int
 }
 
 // Validate checks the configuration against the framework's constraints:
@@ -80,6 +85,12 @@ func (c SystemConfig) Validate() error {
 		if err := c.Faults.Validate(c.PCPUs, total); err != nil {
 			return fmt.Errorf("core: fault plan: %w", err)
 		}
+	}
+	switch c.Contract {
+	case 0, san.ContractV1, san.ContractV2:
+	default:
+		return fmt.Errorf("core: unknown determinism contract version %d (have v%d and v%d)",
+			c.Contract, san.ContractV1, san.ContractV2)
 	}
 	return nil
 }

@@ -1,0 +1,365 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"vcpusim/internal/rng"
+)
+
+// TestCalendarMatchesHeapTrace drives the fixed reset_test scenario on both
+// backends: the calendar must fire the identical trace, because the
+// (time, priority, seq) order is total and shared.
+func TestCalendarMatchesHeapTrace(t *testing.T) {
+	want := driveKernel(t, NewKernel())
+	got := driveKernel(t, NewCalendarKernel())
+	if len(got) != len(want) {
+		t.Fatalf("calendar fired %d events, heap fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("firing %d: calendar %q, heap %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCalendarResetIndistinguishableFromNew mirrors the PR 3 heap-kernel
+// reset contract for the calendar backend.
+func TestCalendarResetIndistinguishableFromNew(t *testing.T) {
+	fresh := NewCalendarKernel()
+	want := driveKernel(t, fresh)
+
+	reused := NewCalendarKernel()
+	_ = driveKernel(t, reused)
+	leftover, err := reused.Schedule(100, 0, "leftover", func() { t.Error("leftover event fired after Reset") })
+	if err != nil {
+		t.Fatalf("schedule leftover: %v", err)
+	}
+	reused.Reset()
+
+	if reused.Now() != 0 {
+		t.Errorf("Now after Reset = %g, want 0", reused.Now())
+	}
+	if reused.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", reused.Len())
+	}
+	if reused.NextTime() != math.Inf(1) {
+		t.Errorf("NextTime after Reset = %g, want +Inf", reused.NextTime())
+	}
+	if leftover.Pending() {
+		t.Error("pending event still marked pending after Reset")
+	}
+
+	got := driveKernel(t, reused)
+	if len(got) != len(want) {
+		t.Fatalf("reset calendar fired %d events, fresh fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("firing %d: reset %q, fresh %q", i, got[i], want[i])
+		}
+	}
+	if fresh.Fired() != reused.Fired() {
+		t.Errorf("fired counts differ: fresh %d, reset %d", fresh.Fired(), reused.Fired())
+	}
+}
+
+func TestCalendarResetAllocFree(t *testing.T) {
+	k := NewCalendarKernel()
+	events := make([]*Event, 64)
+	for i := range events {
+		ev, err := k.NewEvent(0, "ev", func() {})
+		if err != nil {
+			t.Fatalf("NewEvent: %v", err)
+		}
+		events[i] = ev
+	}
+	fill := func() {
+		for i, ev := range events {
+			if err := k.ScheduleEventAt(ev, float64(i)); err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+		}
+	}
+	// Warm one cycle first so resize-driven bucket growth has already
+	// happened; steady-state replications must then be allocation-free.
+	fill()
+	k.Reset()
+	fill()
+	allocs := testing.AllocsPerRun(100, func() {
+		k.Reset()
+		fill()
+	})
+	if allocs != 0 {
+		t.Errorf("Reset+refill allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestCalendarMassSameTimeFIFO piles many events onto a single timestamp —
+// the calendar's worst case, everything in one bucket-year — and checks the
+// sequence-number tie-break holds exactly.
+func TestCalendarMassSameTimeFIFO(t *testing.T) {
+	k := NewCalendarKernel()
+	const n = 2000
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		if _, err := k.Schedule(7, 0, "e", func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(8)
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestCalendarResizeUnderSkew schedules heavily skewed timestamps — a dense
+// cluster plus far outliers — so the width recomputation and both resize
+// directions actually trigger, then drains and checks the order.
+func TestCalendarResizeUnderSkew(t *testing.T) {
+	k := NewCalendarKernel()
+	nb0 := len(k.cal.buckets)
+	var times []float64
+	add := func(at float64) {
+		times = append(times, at)
+		if _, err := k.Schedule(at, 0, "e", nil); err == nil {
+			t.Fatal("nil handler accepted")
+		}
+		if _, err := k.Schedule(at, 0, "e", func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Dense cluster near zero.
+	for i := 0; i < 100; i++ {
+		add(float64(i) * 1e-6)
+	}
+	// Far outliers: millions of widths away, exercising the year clamp
+	// range and the sparse findMin fallback.
+	for i := 0; i < 40; i++ {
+		add(1e6 + float64(i)*1e5)
+	}
+	if len(k.cal.buckets) == nb0 {
+		t.Fatalf("no grow resize happened: still %d buckets with %d events", nb0, k.cal.count)
+	}
+	// Drain: pops shrink the queue back below the shrink threshold.
+	var fired []float64
+	prev := math.Inf(-1)
+	for k.Step() {
+		fired = append(fired, k.Now())
+		if k.Now() < prev {
+			t.Fatalf("pop order regressed: %g after %g", k.Now(), prev)
+		}
+		prev = k.Now()
+	}
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, scheduled %d", len(fired), len(times))
+	}
+	if len(k.cal.buckets) <= calMinBuckets/2 {
+		t.Fatalf("bucket count collapsed below the minimum: %d", len(k.cal.buckets))
+	}
+	sort.Float64s(times)
+	for i := range times {
+		if fired[i] != times[i] {
+			t.Fatalf("fired time %d = %g, want %g", i, fired[i], times[i])
+		}
+	}
+	if len(k.cal.buckets) >= nb0*8 {
+		t.Fatalf("no shrink resize happened on drain: %d buckets for empty queue", len(k.cal.buckets))
+	}
+}
+
+// TestCalendarExtremeTimestamps exercises the year clamp: absurdly large
+// (and +Inf) timestamps all land in the final year and still pop in order.
+func TestCalendarExtremeTimestamps(t *testing.T) {
+	k := NewCalendarKernel()
+	for _, at := range []float64{1e300, 2, math.Inf(1), 1e18, 0, 7} {
+		if _, err := k.Schedule(at, 0, "e", func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := math.Inf(-1)
+	for i := 0; i < 6; i++ {
+		if !k.Step() {
+			t.Fatalf("queue dry after %d pops, want 6", i)
+		}
+		if k.Now() < prev {
+			t.Fatalf("pop order regressed: %g after %g", k.Now(), prev)
+		}
+		prev = k.Now()
+	}
+	if k.Step() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestCalendarCancelHead cancels the cached minimum, forcing the head
+// rescan, including across empty years.
+func TestCalendarCancelHead(t *testing.T) {
+	k := NewCalendarKernel()
+	evs := make([]*Event, 5)
+	for i := range evs {
+		ev, err := k.Schedule(float64(i*100+1), 0, fmt.Sprintf("e%d", i), func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs[i] = ev
+	}
+	k.Cancel(evs[0])
+	k.Cancel(evs[1])
+	if got := k.NextTime(); got != 201 {
+		t.Fatalf("NextTime after cancelling the two earliest = %g, want 201", got)
+	}
+	for _, ev := range evs[2:] {
+		k.Cancel(ev)
+	}
+	if k.Len() != 0 || k.NextTime() != math.Inf(1) {
+		t.Fatalf("len=%d NextTime=%g after cancelling everything", k.Len(), k.NextTime())
+	}
+	if k.Cancelled() != 5 {
+		t.Fatalf("Cancelled = %d, want 5", k.Cancelled())
+	}
+}
+
+// TestQuickCalendarMatchesHeap is the heap<->calendar cross-check fuzz:
+// random schedules (clustered times to force ties, mixed priorities,
+// mid-run scheduling from handlers, random cancellations) must produce
+// byte-identical traces on both backends.
+func TestQuickCalendarMatchesHeap(t *testing.T) {
+	run := func(k *Kernel, seed uint64, n int) ([]string, bool) {
+		r := rng.New(seed)
+		var trace []string
+		ok := true
+		var evs []*Event
+		for i := 0; i < n; i++ {
+			i := i
+			at := float64(r.Intn(50)) / 4 // clusters => same-time ties
+			prio := r.Intn(3)
+			ev, err := k.Schedule(at, prio, "e", func() {
+				trace = append(trace, fmt.Sprintf("e%d@%g", i, k.Now()))
+				// Occasionally schedule more work mid-run.
+				if r.Intn(4) == 0 {
+					j := i
+					_, err := k.ScheduleAfter(float64(r.Intn(8)), r.Intn(3), "m", func() {
+						trace = append(trace, fmt.Sprintf("m%d@%g", j, k.Now()))
+					})
+					if err != nil {
+						ok = false
+					}
+				}
+			})
+			if err != nil {
+				return nil, false
+			}
+			evs = append(evs, ev)
+		}
+		// Cancel a random subset before running.
+		for _, ev := range evs {
+			if r.Intn(5) == 0 {
+				k.Cancel(ev)
+			}
+		}
+		k.RunUntil(40)
+		return trace, ok
+	}
+	f := func(seed uint64, n uint8) bool {
+		count := int(n%120) + 1
+		heapTrace, ok1 := run(NewKernel(), seed, count)
+		calTrace, ok2 := run(NewCalendarKernel(), seed, count)
+		if !ok1 || !ok2 || len(heapTrace) != len(calTrace) {
+			return false
+		}
+		for i := range heapTrace {
+			if heapTrace[i] != calTrace[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCalendarOrderSorted mirrors the heap's testing/quick order
+// property directly on the calendar backend.
+func TestQuickCalendarOrderSorted(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rng.New(uint64(seed))
+		k := NewCalendarKernel()
+		count := int(n%50) + 1
+		type key struct {
+			t    float64
+			prio int
+			seq  int
+		}
+		var fired []key
+		for i := 0; i < count; i++ {
+			at := float64(r.Intn(20))
+			prio := r.Intn(3)
+			kk := key{t: at, prio: prio, seq: i}
+			if _, err := k.Schedule(at, prio, "e", func() { fired = append(fired, kk) }); err != nil {
+				return false
+			}
+		}
+		k.RunUntil(100)
+		if len(fired) != count {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool {
+			a, b := fired[i], fired[j]
+			if a.t != b.t {
+				return a.t < b.t
+			}
+			if a.prio != b.prio {
+				return a.prio < b.prio
+			}
+			return a.seq < b.seq
+		})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// benchmarkKernelChurn measures steady-state pop+reschedule churn with
+// reusable arena events at a queue depth of 64 and exponential inter-event
+// gaps — the tandem-64 SAN executor's event-list workload, without the
+// executor around it.
+func benchmarkKernelChurn(b *testing.B, k *Kernel) {
+	r := rng.New(1)
+	const depth = 64
+	k.Reserve(depth)
+	var current *Event
+	for i := 0; i < depth; i++ {
+		var ev *Event
+		ev, err := k.NewEvent(0, "churn", func() { current = ev })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := k.ScheduleEventAt(ev, r.ExpInv()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !k.Step() {
+			b.Fatal("queue dried up")
+		}
+		if err := k.ScheduleEventAt(current, k.Now()+r.ExpInv()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChurnHeapKernel(b *testing.B)     { benchmarkKernelChurn(b, NewKernel()) }
+func BenchmarkChurnCalendarKernel(b *testing.B) { benchmarkKernelChurn(b, NewCalendarKernel()) }

@@ -31,6 +31,7 @@ func Run(args []string, out io.Writer) (err error) {
 	var (
 		figure   = fs.String("figure", "all", "which experiment: 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, faults, or all")
 		engine   = fs.String("engine", "fast", `simulation engine: "fast" or "san"`)
+		contract = fs.Int("contract", 1, "determinism contract version for the SAN engine: 1 (byte-frozen original) or 2 (ziggurat + calendar queue)")
 		seed     = fs.Uint64("seed", 1, "experiment seed")
 		horizon  = fs.Int64("horizon", 20000, "simulated ticks per replication")
 		minRep   = fs.Int("min-reps", 10, "minimum replications per cell")
@@ -61,6 +62,7 @@ func Run(args []string, out io.Writer) (err error) {
 
 	p := experiments.Defaults()
 	p.Engine = experiments.Engine(*engine)
+	p.Contract = *contract
 	p.Seed = *seed
 	p.Horizon = *horizon
 	p.Sim = sim.Options{MinReps: *minRep, MaxReps: *maxRep}
@@ -184,9 +186,11 @@ func Run(args []string, out io.Writer) (err error) {
 			VCSRevision: obs.VCSRevision(),
 			Command:     append([]string{"experiments"}, args...),
 			Seed:        p.Seed,
+			Contract:    *contract,
 			Params: map[string]any{
 				"figure":           *figure,
 				"engine":           *engine,
+				"contract":         *contract,
 				"horizon":          p.Horizon,
 				"min_reps":         p.Sim.MinReps,
 				"max_reps":         p.Sim.MaxReps,

@@ -63,6 +63,10 @@ type Params struct {
 	// package defaults (95 % confidence, <0.1 relative half-width, 10-100
 	// replications), matching the paper's reported settings.
 	Sim sim.Options
+	// Contract is the determinism contract version every cell's SAN
+	// program is compiled under (san.ContractV1 or san.ContractV2); 0
+	// selects san.DefaultContract. The fast engine ignores it.
+	Contract int
 	// GridParallelism is the number of experiment grid cells (independent
 	// (config, algorithm) points of one figure) run concurrently; default
 	// 1 (serial). Cell results are identical at any setting: every cell's
@@ -327,6 +331,9 @@ func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerF
 // rolls the per-replication engine counters up into the cell.end event;
 // with no sink the cell runs exactly as before — no counters, no clock.
 func (p Params) runCell(ctx context.Context, cell string, cfg core.SystemConfig, factory core.SchedulerFactory) (sim.Summary, error) {
+	// Every cell funnels through here, so stamping the contract once covers
+	// the whole experiment grid (fig8Config/setConfig build cfg without it).
+	cfg.Contract = p.Contract
 	opts := p.Sim
 	opts.Seed = p.Seed
 	if p.Sink == nil {

@@ -210,6 +210,99 @@ func programField(info *types.Info, e ast.Expr) (token.Pos, string, bool) {
 	}
 }
 
+// NewRawSampling returns the inline-sampling ban: applying math.Log to
+// an expression that draws from an rng.Source re-implements
+// inverse-transform sampling at the call site, outside the versioned
+// determinism contract. The sanctioned primitives (Source.ExpInv, the
+// ziggurat samplers, the Distribution types) live in internal/rng, so a
+// contract version bump changes every consumer at once. The check is
+// type-based: a call to math.Log (under whatever local name "math" is
+// imported) whose argument subtree contains a method call on an
+// rng.Source receiver. math.Log over plain data (statistics, analytic
+// CDFs) stays legal.
+func NewRawSampling(scope func(rel string) bool) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      RuleRawSampling,
+		Doc:       "forbid math.Log over rng.Source draws outside internal/rng; sampling primitives are versioned in vcpusim/internal/rng",
+		Scope:     scope,
+		NeedTypes: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, f := range pass.Files {
+				names := localPackageNames(f, "math")
+				if len(names) == 0 {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "Log" {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok || !names[id.Name] {
+						return true
+					}
+					if drawsFromSource(pass.TypesInfo, call.Args) {
+						pass.Reportf(call.Pos(), "transforms a raw rng.Source draw with math.Log; inverse-transform sampling belongs to the versioned primitives in vcpusim/internal/rng (Source.ExpInv, the ziggurat samplers)")
+					}
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
+// drawsFromSource reports whether any of the expressions contains a
+// method call on an rng.Source receiver.
+func drawsFromSource(info *types.Info, args []ast.Expr) bool {
+	found := false
+	for _, a := range args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if t := info.TypeOf(sel.X); t != nil && isSourceType(t) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSourceType reports whether t is rng.Source or *rng.Source.
+func isSourceType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Name() != "Source" {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "vcpusim/internal/rng" || strings.HasSuffix(p, "/internal/rng")
+}
+
 // isProgramType reports whether t is san.Program or *san.Program.
 func isProgramType(t types.Type) bool {
 	if ptr, ok := t.(*types.Pointer); ok {

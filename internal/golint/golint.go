@@ -18,6 +18,12 @@
 //   - writes to san.Program fields after Compile: the compiled program is
 //     shared by every Instance and replication worker; mutating it
 //     races and breaks the compile-once contract (san-immutable).
+//   - math.Log applied to a raw rng.Source draw outside internal/rng:
+//     inlined inverse-transform sampling (-log(1-U)/rate and friends)
+//     forks the sampling algorithm away from the versioned determinism
+//     contract — the primitives live in internal/rng (Source.ExpInv for
+//     contract v1, the ziggurat samplers for v2) so a contract bump
+//     changes every caller at once (raw-sampling).
 //
 // Each rule is an internal/analysis analyzer, so the identical checks
 // run three ways: through this package's Run facade (the `vcpusim vet`
@@ -56,6 +62,10 @@ const (
 	// RuleSanImmutable flags writes to san.Program fields outside the
 	// compile path: programs are immutable once compiled.
 	RuleSanImmutable = "san-immutable"
+	// RuleRawSampling flags math.Log calls whose argument draws from an
+	// rng.Source outside internal/rng: sampling transforms belong to the
+	// versioned primitives in internal/rng.
+	RuleRawSampling = "raw-sampling"
 )
 
 // Finding is one determinism-contract violation.
@@ -95,6 +105,10 @@ type Config struct {
 	ObsClockExempt []string
 	// SanScope lists the directories the san-immutable rule applies to.
 	SanScope []string
+	// RawSamplingExempt lists the directories whose packages may apply
+	// math.Log to raw rng.Source draws (the sampling primitives
+	// themselves).
+	RawSamplingExempt []string
 }
 
 // DefaultConfig returns the vcpusim determinism contract: math/rand is
@@ -117,8 +131,9 @@ func DefaultConfig(root string) Config {
 			"internal/san", "internal/des", "internal/core",
 			"internal/sched", "internal/fastsim",
 		},
-		ObsClockExempt: []string{"internal/obs"},
-		SanScope:       []string{"internal/san"},
+		ObsClockExempt:    []string{"internal/obs"},
+		SanScope:          []string{"internal/san"},
+		RawSamplingExempt: []string{"internal/rng"},
 	}
 }
 
@@ -130,6 +145,7 @@ func (cfg Config) analyzers() []*analysis.Analyzer {
 		NewMapRange(analysis.InScope(cfg.MapRangeScope...)),
 		NewObsClock(analysis.NotInScope(append(append([]string(nil), cfg.ObsClockExempt...), cfg.ClockScope...)...)),
 		NewSanImmutable(analysis.InScope(cfg.SanScope...)),
+		NewRawSampling(analysis.NotInScope(cfg.RawSamplingExempt...)),
 	}
 }
 

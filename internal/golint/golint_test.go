@@ -269,6 +269,63 @@ func scrub(p *Program) {
 	}
 }
 
+// TestRawSamplingFindings: math.Log over an rng.Source draw is flagged
+// outside internal/rng — including draws buried in subexpressions and
+// aliased math imports — while math.Log over plain data and the exempted
+// internal/rng package stay legal.
+func TestRawSamplingFindings(t *testing.T) {
+	got := runOn(t, map[string]string{
+		"internal/rng/rng.go": `package rng
+
+import "math"
+
+type Source struct{ s uint64 }
+
+func (r *Source) Float64() float64 { return 0.5 }
+
+// The exempted package implements the primitive itself.
+func (r *Source) ExpInv() float64 { return -math.Log(1 - r.Float64()) }
+`,
+		"internal/core/sample.go": `package core
+
+import (
+	m "math"
+	"example.com/fake/internal/rng"
+)
+
+func bad(src *rng.Source) float64 {
+	return -m.Log(1-src.Float64()) / 2 // flagged: inline inversion
+}
+
+func alsoBad(src *rng.Source, p float64) float64 {
+	return m.Log(src.Float64()) / m.Log(1-p) // flagged once: only the first Log draws
+}
+
+func fine(x float64) float64 {
+	return m.Log(x) // plain data: legal
+}
+
+func alsoFine(src *rng.Source) float64 {
+	return src.ExpInv() // the sanctioned primitive
+}
+`,
+	})
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want 2 (both inline inversions, nothing else)", got)
+	}
+	for _, fd := range got {
+		if fd.Rule != RuleRawSampling {
+			t.Errorf("rule = %q, want %q", fd.Rule, RuleRawSampling)
+		}
+		if !strings.Contains(fd.Message, "internal/rng") {
+			t.Errorf("message should point at the sanctioned package: %q", fd.Message)
+		}
+	}
+	if got[0].Pos.Line != 9 || got[1].Pos.Line != 13 {
+		t.Errorf("lines = %d, %d, want 9 and 13", got[0].Pos.Line, got[1].Pos.Line)
+	}
+}
+
 func TestFindingString(t *testing.T) {
 	f := Finding{
 		Pos:     token.Position{Filename: "a/b.go", Line: 3, Column: 7},
@@ -395,13 +452,13 @@ func TestAnalyzers(t *testing.T) {
 	for _, a := range as {
 		names[a.Name] = true
 	}
-	for _, want := range []string{RuleGlobalRand, RuleWallClock, RuleMapRange, RuleObsClock, RuleSanImmutable} {
+	for _, want := range []string{RuleGlobalRand, RuleWallClock, RuleMapRange, RuleObsClock, RuleSanImmutable, RuleRawSampling} {
 		if !names[want] {
 			t.Errorf("Analyzers() missing %q", want)
 		}
 	}
-	if len(as) != 5 {
-		t.Errorf("Analyzers() = %d analyzers, want 5", len(as))
+	if len(as) != 6 {
+		t.Errorf("Analyzers() = %d analyzers, want 6", len(as))
 	}
 }
 

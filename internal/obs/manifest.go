@@ -13,8 +13,10 @@ import (
 )
 
 // ManifestSchemaVersion is the current manifest schema generation,
-// recorded in every manifest and checked by the validator.
-const ManifestSchemaVersion = 1
+// recorded in every manifest and checked by the validator. Generation 2
+// added the optional determinism-contract stamp; generation-1 manifests
+// (no contract field) remain valid.
+const ManifestSchemaVersion = 2
 
 // Manifest is the provenance record of one experiment invocation: enough
 // to re-run it (seed, parameters, tool build) and to check what it did
@@ -22,16 +24,20 @@ const ManifestSchemaVersion = 1
 // hashes). It is written as manifest.json into the run's results
 // directory and validated against the embedded JSON schema.
 type Manifest struct {
-	Schema      int            `json:"schema"`
-	Tool        string         `json:"tool"`
-	GoVersion   string         `json:"go_version"`
-	VCSRevision string         `json:"vcs_revision,omitempty"`
-	Command     []string       `json:"command,omitempty"`
-	Seed        uint64         `json:"seed"`
-	Params      map[string]any `json:"params,omitempty"`
-	Cells       []ManifestCell `json:"cells"`
-	Outputs     []OutputFile   `json:"outputs,omitempty"`
-	WallNS      int64          `json:"wall_ns"`
+	Schema      int      `json:"schema"`
+	Tool        string   `json:"tool"`
+	GoVersion   string   `json:"go_version"`
+	VCSRevision string   `json:"vcs_revision,omitempty"`
+	Command     []string `json:"command,omitempty"`
+	Seed        uint64   `json:"seed"`
+	// Contract is the determinism contract version the run's SAN programs
+	// were compiled under (san.ContractV1/V2); 0 on generation-1 manifests
+	// written before the contract existed.
+	Contract int            `json:"contract,omitempty"`
+	Params   map[string]any `json:"params,omitempty"`
+	Cells    []ManifestCell `json:"cells"`
+	Outputs  []OutputFile   `json:"outputs,omitempty"`
+	WallNS   int64          `json:"wall_ns"`
 }
 
 // ManifestCell is one grid cell's rollup.

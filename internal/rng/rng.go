@@ -79,6 +79,15 @@ func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// ExpInv returns a unit-rate exponential variate by inversion. This is the
+// contract-v1 sampling primitive: 1-Float64() is in (0,1], so Log never sees
+// 0 and the result is always finite and non-negative. All log-based sampling
+// in the repository must route through this method (enforced by the
+// raw-sampling lint rule) so the v1 byte-freeze has a single definition.
+func (r *Source) ExpInv() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
@@ -150,8 +159,7 @@ type Exponential struct{ Rate float64 }
 
 // Sample draws an exponential variate by inversion.
 func (e Exponential) Sample(src *Source) float64 {
-	// 1-Float64() is in (0,1], so Log never sees 0.
-	return -math.Log(1-src.Float64()) / e.Rate
+	return src.ExpInv() / e.Rate
 }
 
 // Mean returns 1/Rate.
@@ -170,7 +178,7 @@ type Erlang struct {
 func (e Erlang) Sample(src *Source) float64 {
 	sum := 0.0
 	for i := 0; i < e.K; i++ {
-		sum += -math.Log(1 - src.Float64())
+		sum += src.ExpInv()
 	}
 	return sum / e.Rate
 }
@@ -189,8 +197,18 @@ type Normal struct{ Mu, Sigma float64 }
 func (n Normal) Sample(src *Source) float64 {
 	u1 := 1 - src.Float64() // in (0,1]
 	u2 := src.Float64()
-	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-	return n.Mu + n.Sigma*z
+	return n.Mu + n.Sigma*boxMuller(u1, u2)
+}
+
+// boxMuller maps two uniforms to a standard normal variate. u1 must be in
+// (0,1]; a non-positive u1 (which the samplers never produce, but arbitrary
+// callers could) is clamped to the smallest draw Float64 can yield so the
+// result stays finite instead of propagating ±Inf through Sqrt(Log(0)).
+func boxMuller(u1, u2 float64) float64 {
+	if u1 <= 0 {
+		u1 = 0x1p-53
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 }
 
 // Mean returns Mu.
@@ -217,8 +235,21 @@ type Geometric struct{ P float64 }
 
 // Sample draws a geometric variate by inversion.
 func (g Geometric) Sample(src *Source) float64 {
-	u := 1 - src.Float64() // in (0,1]
-	return math.Ceil(math.Log(u) / math.Log(1-g.P))
+	return geometricInv(1-src.Float64(), g.P) // u in (0,1]
+}
+
+// geometricInv inverts the geometric CDF at u with success probability p.
+// The edge draw u == 1 (probability 2^-53) makes the ratio -0, and p == 1
+// makes Log(1-p) == -Inf with the same effect; both land outside the
+// distribution's support {1, 2, 3, ...}, so the result is clamped to 1.
+// Every interior draw is untouched: the clamp only replaces values < 1,
+// which the inversion cannot produce for u in (0,1).
+func geometricInv(u, p float64) float64 {
+	k := math.Ceil(math.Log(u) / math.Log(1-p))
+	if k < 1 {
+		return 1
+	}
+	return k
 }
 
 // Mean returns 1/P.

@@ -1,0 +1,141 @@
+// Ziggurat samplers for the exponential and normal distributions
+// (Marsaglia & Tsang, "The Ziggurat Method for Generating Random
+// Variables", 2000), widened from the original 32-bit tables to the
+// 53-bit mantissa draws this package's Source produces.
+//
+// These are the determinism-contract-v2 sampling primitives: one Uint64
+// draw resolves the layer index, the sign (normal only), and the
+// candidate mantissa, and ~98-99% of draws accept immediately without
+// touching math.Log or math.Sqrt. The variate stream differs from the
+// v1 inversion/Box-Muller stream — code running under contract v1 must
+// keep using ExpInv / Normal.Sample, which are byte-frozen.
+package rng
+
+import "math"
+
+const (
+	// zigExpR is the rightmost layer edge of the 256-layer exponential
+	// ziggurat; zigExpV is the common layer area.
+	zigExpR = 7.69711747013104972
+	zigExpV = 3.949659822581572e-3
+	// zigNormR / zigNormV are the analogues for the 128-layer normal
+	// ziggurat (one half of the symmetric density).
+	zigNormR = 3.442619855899
+	zigNormV = 9.91256303526217e-3
+)
+
+var (
+	// Exponential tables: ke is the immediate-accept threshold on the
+	// 53-bit draw, we scales the draw to an x coordinate, fe is the
+	// density at each layer edge.
+	keExp [256]uint64
+	weExp [256]float64
+	feExp [256]float64
+
+	// Normal tables, same roles over 52-bit draws (one mantissa bit is
+	// spent on the sign).
+	knNorm [128]uint64
+	wnNorm [128]float64
+	fnNorm [128]float64
+)
+
+func init() {
+	// Exponential layer edges, walked top-down from x = zigExpR.
+	de, te := zigExpR, zigExpR
+	const me = 1 << 53
+	q := zigExpV / math.Exp(-de)
+	keExp[0] = uint64((de / q) * me)
+	keExp[1] = 0
+	weExp[0] = q / me
+	weExp[255] = de / me
+	feExp[0] = 1
+	feExp[255] = math.Exp(-de)
+	for i := 254; i >= 1; i-- {
+		de = -math.Log(zigExpV/de + math.Exp(-de))
+		keExp[i+1] = uint64((de / te) * me)
+		te = de
+		feExp[i] = math.Exp(-de)
+		weExp[i] = de / me
+	}
+
+	// Normal layer edges, walked top-down from x = zigNormR.
+	dn, tn := zigNormR, zigNormR
+	const mn = 1 << 52
+	qn := zigNormV / math.Exp(-0.5*dn*dn)
+	knNorm[0] = uint64((dn / qn) * mn)
+	knNorm[1] = 0
+	wnNorm[0] = qn / mn
+	wnNorm[127] = dn / mn
+	fnNorm[0] = 1
+	fnNorm[127] = math.Exp(-0.5 * dn * dn)
+	for i := 126; i >= 1; i-- {
+		dn = math.Sqrt(-2 * math.Log(zigNormV/dn+math.Exp(-0.5*dn*dn)))
+		knNorm[i+1] = uint64((dn / tn) * mn)
+		tn = dn
+		fnNorm[i] = math.Exp(-0.5 * dn * dn)
+		wnNorm[i] = dn / mn
+	}
+}
+
+// ExpZig returns a unit-rate exponential variate via the ziggurat method.
+// The result is always finite and non-negative. The variate stream is NOT
+// compatible with ExpInv — selecting between them is what the determinism
+// contract version means.
+func (r *Source) ExpZig() float64 {
+	for {
+		u := r.Uint64()
+		i := u & 0xFF
+		j := u >> 11 // 53-bit candidate mantissa; disjoint from the index bits
+		x := float64(j) * weExp[i]
+		if j < keExp[i] {
+			return x
+		}
+		if i == 0 {
+			// Tail layer: the exponential is memoryless past zigExpR.
+			return zigExpR + r.ExpInv()
+		}
+		if feExp[i]+r.Float64()*(feExp[i-1]-feExp[i]) < math.Exp(-x) {
+			return x
+		}
+	}
+}
+
+// NormZig returns a standard normal variate via the ziggurat method. The
+// variate stream is NOT compatible with the Box-Muller path in
+// Normal.Sample; see ExpZig.
+func (r *Source) NormZig() float64 {
+	for {
+		u := r.Uint64()
+		i := u & 0x7F
+		j := u >> 12 // 52-bit candidate mantissa
+		neg := u&0x800 != 0
+		x := float64(j) * wnNorm[i]
+		if j < knNorm[i] {
+			if neg {
+				return -x
+			}
+			return x
+		}
+		if i == 0 {
+			// Tail: Marsaglia's exponential-majorant rejection for
+			// |x| > zigNormR.
+			for {
+				xx := r.ExpInv() / zigNormR
+				yy := r.ExpInv()
+				if yy+yy >= xx*xx {
+					x = zigNormR + xx
+					if neg {
+						return -x
+					}
+					return x
+				}
+			}
+		}
+		if fnNorm[i]+r.Float64()*(fnNorm[i-1]-fnNorm[i]) < math.Exp(-0.5*x*x) {
+			if neg {
+				return -x
+			}
+			return x
+		}
+	}
+}

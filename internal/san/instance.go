@@ -45,6 +45,7 @@ type Instance struct {
 	touchMasks []uint64
 	touchOps   [][]touchOp
 	mask111    bool
+	mask4      bool
 
 	// events holds the reusable completion event of each timed activity,
 	// parallel to timed (one outstanding activation per activity under the
@@ -132,13 +133,18 @@ type Instance struct {
 }
 
 // NewInstance allocates the mutable state for running the program: a
-// kernel, reusable completion events, accumulators, and scratch buffers.
-// The instance is not armed; call Reset(seed) before the first run.
+// kernel (heap-backed under contract v1, calendar-queue under v2),
+// reusable completion events, accumulators, and scratch buffers. The
+// instance is not armed; call Reset(seed) before the first run.
 func (p *Program) NewInstance() (*Instance, error) {
 	m := p.model
+	kernel := des.NewKernel()
+	if p.contract == ContractV2 {
+		kernel = des.NewCalendarKernel()
+	}
 	in := &Instance{
 		prog:       p,
-		kernel:     des.NewKernel(),
+		kernel:     kernel,
 		src:        rng.New(0),
 		timed:      p.timed,
 		instants:   p.instants,
@@ -146,6 +152,7 @@ func (p *Program) NewInstance() (*Instance, error) {
 		touchMasks: p.touchMasks,
 		touchOps:   p.touchOps,
 		mask111:    p.mask111,
+		mask4:      p.mask4,
 		impulses:   make([]float64, len(m.impulses)),
 		rateSt:     make([]rateState, len(m.rates)),
 	}
@@ -308,7 +315,9 @@ func (in *Instance) SetFireHooks(pre, post func(a *Activity)) {
 // in.tracking (only gate execution records dirt); compiled firing steps
 // touch directly. Models up to 64 timed activities, 64 instantaneous
 // activities, and 64 rate rewards take the three-adjacent-word fast path
-// into the dirty arena; larger ones apply the place's sparse op list.
+// into the dirty arena; a four-word arena (one set spilling into a second
+// word) takes the analogous dense path, and larger ones apply the place's
+// sparse op list.
 func (in *Instance) touchID(id int) {
 	if in.mask111 {
 		m := in.touchMasks[id*3:]
@@ -324,6 +333,15 @@ func (in *Instance) touchID(id int) {
 
 func (in *Instance) touchWide(id int) {
 	ar := in.dirtyArena
+	if in.mask4 {
+		m := in.touchMasks[id*4:]
+		_, _ = m[3], ar[3]
+		ar[0] |= m[0]
+		ar[1] |= m[1]
+		ar[2] |= m[2]
+		ar[3] |= m[3]
+		return
+	}
 	for _, op := range in.touchOps[id] {
 		ar[op.word] |= op.mask
 	}
@@ -450,10 +468,28 @@ func (in *Instance) fire(ap *actPlan) {
 		in.preFire(a)
 	}
 	if ap.fireCompiled {
-		for _, st := range ap.fireArcs {
-			in.applyArcStep(st)
-			if in.failed != nil {
-				return
+		if ft := ap.fireTouch; ft != nil {
+			// Fused-touch path (contract v2): one OR marks every place the
+			// plan touches plus its rate-dirty bits, and the steps skip the
+			// per-place touches. Marking before the steps keeps the dirty
+			// sets a superset of the per-step path on the error exit, which
+			// a failed replication never reads.
+			ar := in.dirtyArena
+			for i, w := range ft {
+				ar[i] |= w
+			}
+			for _, st := range ap.fireArcs {
+				in.applyArcDelta(st)
+				if in.failed != nil {
+					return
+				}
+			}
+		} else {
+			for _, st := range ap.fireArcs {
+				in.applyArcStep(st)
+				if in.failed != nil {
+					return
+				}
 			}
 		}
 		// The implicit single case has an empty output gate: nothing to run.
@@ -488,8 +524,10 @@ func (in *Instance) fire(ap *actPlan) {
 	for _, i := range ap.impulseIdx {
 		in.impulses[i] += in.prog.model.impulses[i].Fn()
 	}
-	for _, i := range ap.rateIdx {
-		in.rateDirty.set(int(i))
+	if ap.fireTouch == nil {
+		for _, i := range ap.rateIdx {
+			in.rateDirty.set(int(i))
+		}
 	}
 }
 
@@ -512,6 +550,24 @@ func (in *Instance) applyArcStep(st arcStep) {
 	in.touchID(p.id)
 }
 
+// applyArcDelta is applyArcStep without the dirty touch, for the fused-
+// touch firing path: the whole plan's touch set was already marked in one
+// OR, so only the marking change and its checks remain. Kept separate from
+// applyArcStep (rather than parameterizing it) so the frozen v1 firing
+// path compiles exactly as before.
+func (in *Instance) applyArcDelta(st arcStep) {
+	p := st.p
+	n := p.tokens + st.delta
+	if n < 0 {
+		p.model.addErr(fmt.Errorf("san: place %s marked negative (%d)", p.name, n))
+		n = 0
+	}
+	if p.capacity > 0 && n > p.capacity {
+		p.model.addErr(fmt.Errorf("san: place %s marked %d, above its declared capacity %d", p.name, n, p.capacity))
+	}
+	p.tokens = n
+}
+
 // enabledPlan evaluates an activity's enabling condition, through the
 // compiled arc predicates when the activity has no opaque gate predicate —
 // the same conjunction, in the same short-circuit order, without the
@@ -529,17 +585,21 @@ func (in *Instance) enabledPlan(ap *actPlan) bool {
 }
 
 // sampleDelay draws an activity's completion delay, through compiled
-// arithmetic for the common stationary distributions (identical formulas
-// and RNG draws to Distribution.Sample) and through the activity's delay
-// function otherwise.
+// arithmetic for the common stationary distributions (under contract v1,
+// identical formulas and RNG draws to Distribution.Sample; under v2, the
+// ziggurat samplers) and through the activity's delay function otherwise.
 func (in *Instance) sampleDelay(ap *actPlan) float64 {
 	switch ap.delayKind {
 	case delayDet:
 		return ap.delayA
 	case delayExp:
-		return -math.Log(1-in.src.Float64()) / ap.delayA
+		return in.src.ExpInv() / ap.delayA
 	case delayUniform:
 		return ap.delayA + (ap.delayB-ap.delayA)*in.src.Float64()
+	case delayExpZig:
+		return in.src.ExpZig() / ap.delayA
+	case delayNormZig:
+		return ap.delayA + ap.delayB*in.src.NormZig()
 	default:
 		return ap.act.delay(in.src)
 	}
@@ -693,12 +753,25 @@ func (in *Instance) refresh() {
 	if in.prog.wildTimedAny {
 		in.candTimed.or(in.prog.wildTimed)
 	}
+	// The loop body never touches candTimed (scheduling and cancellation
+	// are kernel-only), so under contract v2 the set is cleared wholesale
+	// afterwards instead of bit by bit; the error returns skip the clear,
+	// but a failed replication never refreshes again. The frozen v1 path
+	// keeps its original per-candidate clear.
+	bulk := in.prog.contract == ContractV2
 	for i := in.candTimed.next(0); i >= 0; i = in.candTimed.next(i + 1) {
-		in.candTimed.clear(i)
+		if !bulk {
+			in.candTimed.clear(i)
+		}
 		ap := in.timed[i]
 		ev := in.events[i]
 		scheduled := ev.Pending()
-		enabled := in.enabledPlan(ap)
+		var enabled bool
+		if p := ap.enabP; p != nil {
+			enabled = p.tokens >= ap.enabN
+		} else {
+			enabled = in.enabledPlan(ap)
+		}
 		if in.anyDisabled && in.disabledTimed.has(i) {
 			enabled = false
 		}
@@ -717,6 +790,9 @@ func (in *Instance) refresh() {
 			in.kernel.Cancel(ev)
 			in.aborts++
 		}
+	}
+	if bulk {
+		in.candTimed.zero()
 	}
 }
 

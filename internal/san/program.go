@@ -20,6 +20,10 @@ const (
 	delayDet                  // Deterministic{Value: A}
 	delayExp                  // Exponential{Rate: A}
 	delayUniform              // Uniform{Low: A, High: B}
+	// Contract-v2 kinds: ziggurat samplers drawing a different — faster,
+	// but identically distributed — variate stream than the v1 formulas.
+	delayExpZig  // Exponential{Rate: A} via rng.ExpZig
+	delayNormZig // Normal{Mu: A, Sigma: B} via rng.NormZig
 )
 
 // arcPred is one InputArc's enabling term: the place must hold at least n
@@ -59,6 +63,14 @@ type actPlan struct {
 	// is exactly the conjunction the closures would compute.
 	enabArcs     []arcPred
 	enabCompiled bool
+	// enabP/enabN cache the one-arc special case of enabArcs (by far the
+	// most common compiled predicate): when enabP is non-nil the enabling
+	// test is the single inline comparison enabP.tokens >= enabN, saving
+	// refresh a call and a slice walk per reconsideration. Populated only
+	// under contract v2: the executor rewrites live behind the versioned
+	// fast path so the frozen v1 path stays literally untouched.
+	enabP *Place
+	enabN int
 
 	// fireArcs, when fireCompiled, is the activity's entire firing effect
 	// as data: the counted-arc marking steps in input-function order,
@@ -68,6 +80,14 @@ type actPlan struct {
 	// negative-marking and capacity checks and the dirty-place touches.
 	fireArcs     []arcStep
 	fireCompiled bool
+	// fireTouch, when non-nil, is the union of the dirty rows of every
+	// place in fireArcs plus the plan's rateIdx bits, pre-computed over the
+	// arena's full stride: a compiled firing always touches the same
+	// places, so one OR of these words replaces the per-place touches and
+	// the rate-dirty loop. Populated only under contract v2 and only for
+	// narrow arenas (stride ≤ 4), where the unconditional OR beats the
+	// sparse op lists.
+	fireTouch []uint64
 
 	// fuseCont marks instantaneous gate-free activities whose firing can
 	// only dirty the enabling of activities at or after their own position
@@ -135,13 +155,18 @@ type Program struct {
 	// consecutively in an instance's dirty arena.
 	wT, wI, wR int
 
-	// touchMasks is the dense mask layout used when each dirty set fits in
-	// one word (mask111): three consecutive words per place id, ORed onto
-	// the arena's first three words. Wider models use touchOps: a sparse
-	// per-place list of (word, mask) ops into the arena.
+	// touchMasks is the dense mask layout used when the arena stride is
+	// small: stride consecutive words per place id, ORed onto the arena's
+	// first stride words. mask111 is the three-words case (every dirty set
+	// fits one word); mask4 covers strides of four (one of the sets spills
+	// into a second word — e.g. 65–128 timed activities), and is enabled
+	// only under contract v2 (the frozen v1 path keeps its original dense/
+	// sparse split). Wider models use touchOps: a sparse per-place list of
+	// (word, mask) ops into the arena.
 	touchMasks []uint64
 	touchOps   [][]touchOp
 	mask111    bool
+	mask4      bool
 
 	// wildTimed / wildInst are the activities with undocumented reads,
 	// folded into an instance's candidate sets on every pass; rateWildMask
@@ -160,7 +185,17 @@ type Program struct {
 	// lookup so programs that never disable anything pay nothing.
 	actOnce  sync.Once
 	actIndex map[string]actRef
+
+	// contract is the determinism contract version the program was
+	// compiled under (ContractV1 or ContractV2); it selects the delay
+	// sampling formulas above and the event-list backend NewInstance
+	// builds.
+	contract int
 }
+
+// Contract returns the determinism contract version the program was
+// compiled under.
+func (p *Program) Contract() int { return p.contract }
 
 // actRef locates an activity in a program's firing tables.
 type actRef struct {
@@ -237,9 +272,31 @@ func (p *Program) FusedActivities() []string {
 	return names
 }
 
+// Determinism contract versions. The contract names the exact byte-level
+// reproduction guarantee a compiled program honors: which sampling formulas
+// and which event-list backend produce the trajectory. Golden fixtures are
+// recorded per contract and never mixed.
+const (
+	// ContractV1 is the original engine, byte-frozen: inversion/Box-Muller
+	// sampling and the binary-heap kernel. Every fixture recorded before
+	// the contract existed is a v1 fixture.
+	ContractV1 = 1
+	// ContractV2 is the fast path: ziggurat exponential/normal sampling
+	// (a different variate stream from the same distributions) and the
+	// calendar-queue kernel. v2 is self-reproducible bit-for-bit across
+	// runs, parallelism levels, and pooled vs fresh instances, but its
+	// trajectories diverge from v1 wherever ziggurat draws engage.
+	ContractV2 = 2
+	// DefaultContract is what Compile uses when no WithContract option is
+	// given: the frozen v1 engine, so all existing callers and fixtures
+	// are untouched.
+	DefaultContract = ContractV1
+)
+
 // compileConfig holds Compile's option state.
 type compileConfig struct {
-	noFuse bool
+	noFuse   bool
+	contract int
 }
 
 // CompileOption customizes Compile.
@@ -252,6 +309,14 @@ type CompileOption func(*compileConfig)
 // debugging a model.
 func WithoutFusion() CompileOption {
 	return func(c *compileConfig) { c.noFuse = true }
+}
+
+// WithContract selects the determinism contract version the program is
+// compiled under (ContractV1 or ContractV2); 0 means DefaultContract.
+// Compile fails on any other version, so an unknown contract can never
+// silently fall back to a different trajectory.
+func WithContract(version int) CompileOption {
+	return func(c *compileConfig) { c.contract = version }
 }
 
 // Compile validates model and compiles its immutable execution plan: the
@@ -269,8 +334,15 @@ func Compile(model *Model, opts ...CompileOption) (*Program, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if cfg.contract == 0 {
+		cfg.contract = DefaultContract
+	}
+	if cfg.contract != ContractV1 && cfg.contract != ContractV2 {
+		return nil, fmt.Errorf("san: unknown determinism contract version %d (have v%d and v%d)",
+			cfg.contract, ContractV1, ContractV2)
+	}
 	m := model
-	p := &Program{model: m}
+	p := &Program{model: m, contract: cfg.contract}
 
 	// Activity lists. Timed activities keep definition order (the draw
 	// order); instantaneous ones sort by (priority, definition).
@@ -455,6 +527,10 @@ func Compile(model *Model, opts ...CompileOption) (*Program, error) {
 		if a.gatePreds == 0 && len(preds) == len(a.preds) {
 			ap.enabArcs = preds
 			ap.enabCompiled = true
+			if len(preds) == 1 && cfg.contract == ContractV2 {
+				ap.enabP = preds[0].p
+				ap.enabN = preds[0].n
+			}
 		}
 		if a.gateFns == 0 && a.gateCases == 0 && len(steps) == len(a.inputFns) {
 			ap.fireArcs = steps
@@ -468,9 +544,20 @@ func Compile(model *Model, opts ...CompileOption) (*Program, error) {
 		case rng.Deterministic:
 			ap.delayKind, ap.delayA = delayDet, d.Value
 		case rng.Exponential:
-			ap.delayKind, ap.delayA = delayExp, d.Rate
+			if cfg.contract == ContractV2 {
+				ap.delayKind, ap.delayA = delayExpZig, d.Rate
+			} else {
+				ap.delayKind, ap.delayA = delayExp, d.Rate
+			}
 		case rng.Uniform:
 			ap.delayKind, ap.delayA, ap.delayB = delayUniform, d.Low, d.High
+		case rng.Normal:
+			// Only lowered under v2: the v1 Box-Muller path stays on the
+			// delayFn fallback, exactly as it compiled before the
+			// contract existed.
+			if cfg.contract == ContractV2 {
+				ap.delayKind, ap.delayA, ap.delayB = delayNormZig, d.Mu, d.Sigma
+			}
 		}
 	}
 	for _, ap := range p.instants {
@@ -512,9 +599,16 @@ func Compile(model *Model, opts ...CompileOption) (*Program, error) {
 	p.wI = (len(p.instants) + 63) / 64
 	p.wR = (len(m.rates) + 63) / 64
 	p.mask111 = p.wT == 1 && p.wI == 1 && p.wR == 1
+	p.mask4 = p.wT+p.wI+p.wR == 4 && cfg.contract == ContractV2
 	ids := len(m.places) + len(m.extPlaces)
 	stride := p.wT + p.wI + p.wR
-	rows := make([]uint64, ids*stride)
+	// The fused firing rows (contract v2, below) live in the same backing
+	// array as the per-place rows, so compiling them costs no allocation.
+	fusedCap := 0
+	if cfg.contract == ContractV2 && stride <= 4 {
+		fusedCap = (len(p.timed) + len(p.instants)) * stride
+	}
+	rows := make([]uint64, ids*stride, ids*stride+fusedCap)
 	for id := 0; id < ids; id++ {
 		row := rows[id*stride : (id+1)*stride]
 		mt := bitset(row[:p.wT])
@@ -530,7 +624,7 @@ func Compile(model *Model, opts ...CompileOption) (*Program, error) {
 			mr.set(int(i))
 		}
 	}
-	if p.mask111 {
+	if p.mask111 || p.mask4 {
 		p.touchMasks = rows
 	} else {
 		p.touchOps = make([][]touchOp, ids)
@@ -544,6 +638,41 @@ func Compile(model *Model, opts ...CompileOption) (*Program, error) {
 				}
 			}
 			p.touchOps[id] = ops[start:len(ops):len(ops)]
+		}
+	}
+
+	// Fused firing touches (contract v2, narrow arenas): pre-union each
+	// compiled firing plan's dirty rows and rate-dirty bits so fire marks
+	// everything with one OR. The union is exactly the set the per-place
+	// touches and the rateIdx loop would mark, so the executor's dirty
+	// state — and with it the trajectory — is unchanged.
+	if cfg.contract == ContractV2 && stride <= 4 {
+		// The plans' fused rows fill the spare capacity reserved on rows.
+		fused := rows[len(rows):len(rows):cap(rows)]
+		fuseTouch := func(ap *actPlan) {
+			if !ap.fireCompiled {
+				return
+			}
+			start := len(fused)
+			fused = fused[:start+stride]
+			ft := fused[start : start+stride : start+stride]
+			for _, st := range ap.fireArcs {
+				row := rows[st.p.id*stride : (st.p.id+1)*stride]
+				for w, mask := range row {
+					ft[w] |= mask
+				}
+			}
+			rateBase := p.wT + p.wI
+			for _, i := range ap.rateIdx {
+				ft[rateBase+(int(i)>>6)] |= 1 << (uint(i) & 63)
+			}
+			ap.fireTouch = ft
+		}
+		for _, ap := range p.timed {
+			fuseTouch(ap)
+		}
+		for _, ap := range p.instants {
+			fuseTouch(ap)
 		}
 	}
 	return p, nil
