@@ -11,6 +11,7 @@
 //	vcpusim vet -config experiment.json
 //	vcpusim experiments -figure 8 -quick -manifest out/
 //	vcpusim manifest -check out/manifest.json
+//	vcpusim trace -config experiment.json -out trace.json -probe series.csv
 //
 // With -single, exactly one replication runs (point estimates, optional
 // event trace, Gantt rendering, and -stats engine-counter dump);
@@ -19,7 +20,10 @@
 // source determinism) instead of simulating (see internal/vet); the
 // experiments subcommand is the full figure driver (see
 // internal/expcli); the manifest subcommand validates a run manifest
-// against the embedded schema and counter invariants.
+// against the embedded schema, counter invariants, and probe series
+// hashes; the trace subcommand exports one replication's per-entity
+// scheduling timeline as Chrome trace-event JSON (Perfetto-loadable),
+// optionally with a deterministic time-series probe CSV.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"vcpusim/internal/config"
@@ -58,6 +63,8 @@ func run(args []string, out io.Writer) (err error) {
 			return expcli.Run(args[1:], out)
 		case "manifest":
 			return runManifest(args[1:], out)
+		case "trace":
+			return runTrace(args[1:], out)
 		}
 	}
 	fs := flag.NewFlagSet("vcpusim", flag.ContinueOnError)
@@ -157,7 +164,10 @@ func runManifest(args []string, out io.Writer) error {
 	if err := m.CheckCounters(); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "manifest ok: %s, %d cells, go %s\n", m.Tool, len(m.Cells), m.GoVersion)
+	if err := m.VerifySeries(filepath.Dir(*check)); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "manifest ok: %s, %d cells, %d series, go %s\n", m.Tool, len(m.Cells), len(m.Series), m.GoVersion)
 	return nil
 }
 

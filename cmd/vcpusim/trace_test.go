@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateTrace = flag.Bool("update-trace", false, "rewrite the golden trace and probe fixtures")
+
+// traceOnce runs `vcpusim trace` into a temp dir and returns the trace
+// JSON bytes, the probe CSV bytes, and the command's text output.
+func traceOnce(t *testing.T, extra ...string) (traceJSON, probeCSV []byte, text string) {
+	t.Helper()
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	probePath := filepath.Join(dir, "probe.csv")
+	args := append([]string{
+		"trace", "-config", "testdata/fig8.json", "-horizon", "400",
+		"-out", tracePath, "-probe", probePath, "-every", "40",
+	}, extra...)
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("trace: %v\n%s", err, b.String())
+	}
+	tj, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := os.ReadFile(probePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tj, pc, b.String()
+}
+
+// checkGolden byte-compares got against the fixture, rewriting it under
+// -update-trace.
+func checkGolden(t *testing.T, golden string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", golden)
+	if *updateTrace {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-trace to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (%d bytes vs %d); rerun with -update-trace only for an intended engine change",
+			golden, len(got), len(want))
+	}
+}
+
+// TestTraceGoldenFig8 byte-pins the trace JSON and probe CSV of the
+// shipped Figure 8 config: the exports are pure functions of the config
+// and seed, so any drift is an engine or exporter change that must be
+// reviewed. Also pins rerun bit-identity and the summary lines.
+func TestTraceGoldenFig8(t *testing.T) {
+	tj, pc, text := traceOnce(t)
+	tj2, pc2, _ := traceOnce(t)
+	if !bytes.Equal(tj, tj2) {
+		t.Fatal("trace JSON differs across identical reruns")
+	}
+	if !bytes.Equal(pc, pc2) {
+		t.Fatal("probe CSV differs across identical reruns")
+	}
+	checkGolden(t, "trace_fig8.golden.json", tj)
+	checkGolden(t, "probe_fig8.golden.csv", pc)
+	for _, want := range []string{"trace:", "probe:", "probe sha256:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTraceGoldenFaults byte-pins the faults-campaign trace: the crash
+// plan's inject/recover instants and the PCPU's down interval must land
+// at the same bytes every run.
+func TestTraceGoldenFaults(t *testing.T) {
+	tj, pc, _ := traceOnce(t, "-faults", "testdata/crashplan.json")
+	checkGolden(t, "trace_crash.golden.json", tj)
+	checkGolden(t, "probe_crash.golden.csv", pc)
+	s := string(tj)
+	for _, want := range []string{`"inject crash1"`, `"recover crash1"`, `"down"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("faults trace missing %s", want)
+		}
+	}
+}

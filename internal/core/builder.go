@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vcpusim/internal/faults"
+	"vcpusim/internal/obs"
 	"vcpusim/internal/rng"
 	"vcpusim/internal/san"
 	"vcpusim/internal/workload"
@@ -154,6 +155,18 @@ type System struct {
 	flt *faultRuntime
 	inj *faults.Injector
 
+	// hist / rec are the opt-in inspection hooks — distribution rewards
+	// and the scheduler's flight recorder — both nil unless enabled;
+	// every record site is one nil test.
+	hist *coreHists
+	rec  *obs.FlightRecorder
+
+	// tickNow shadows the Timestamp place so gates that are not linked
+	// to it (Generate, Scheduling) can stamp and measure queueing wait
+	// without adding an undeclared place read. schedulerStep writes it
+	// in the same breath as the Timestamp marking.
+	tickNow int64
+
 	// Per-tick scratch reused across schedulerStep calls so the hot path
 	// does not allocate: view slices handed to the Scheduler, the pending
 	// schedule-out mask, and the Actions accumulator.
@@ -194,6 +207,10 @@ func (s *System) Reseed(sched Scheduler, src *rng.Source) error {
 	if s.flt != nil {
 		s.flt.reset()
 	}
+	if s.hist != nil {
+		s.hist.reset()
+	}
+	s.tickNow = 0
 	return nil
 }
 
@@ -619,11 +636,28 @@ func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
 		}
 	}
 
+	if h := sys.hist; h != nil {
+		// Queue depth: VCPUs holding work but no PCPU, sampled every tick.
+		// The same scan opens each queued VCPU's wait-time window; the
+		// sample is taken when the scheduler's assignment lands.
+		depth := int64(0)
+		for i := range views {
+			if views[i].PCPU < 0 && views[i].RemainingLoad > 0 {
+				depth++
+				if h.waitSince[i] < 0 {
+					h.waitSince[i] = now
+				}
+			}
+		}
+		h.queue.Record(depth)
+	}
+
 	sys.acts.reset()
 	sys.sched.Schedule(now, views, pviews, &sys.acts)
 	sys.applyActions(now, &sys.acts)
 
 	*timestamp.Get() = now + 1
+	sys.tickNow = now + 1
 }
 
 // applyActions validates and applies the scheduling function's decisions:
@@ -647,10 +681,14 @@ func (sys *System) applyActions(now int64, acts *Actions) {
 			sys.model.ReportError(fmt.Errorf("core: scheduler %q preempted inactive VCPU %d", sys.sched.Name(), v))
 			continue
 		}
-		(*sys.pcpus.Get())[h.PCPU] = -1
+		p := h.PCPU
+		(*sys.pcpus.Get())[p] = -1
 		h.PCPU = -1
 		h.Timeslice = 0
 		sys.vcpus[v].schedOut.Add(1)
+		if sys.rec != nil {
+			sys.rec.Record(float64(now), obs.FlightDecision, 1, int64(uint32(v))|int64(p)<<32)
+		}
 	}
 	for _, a := range acts.assigns {
 		switch {
@@ -685,6 +723,13 @@ func (sys *System) applyActions(now int64, acts *Actions) {
 		h.Timeslice = a.Timeslice
 		h.LastIn = now
 		sys.vcpus[a.VCPU].schedIn.Add(1)
+		if sys.rec != nil {
+			sys.rec.Record(float64(now), obs.FlightDecision, 0, int64(uint32(a.VCPU))|int64(a.PCPU)<<32)
+		}
+		if hh := sys.hist; hh != nil && hh.waitSince[a.VCPU] >= 0 {
+			hh.wait.Record(now - hh.waitSince[a.VCPU])
+			hh.waitSince[a.VCPU] = -1
+		}
 		if flt := sys.flt; flt != nil && flt.pendingRecovery[a.PCPU] >= 0 {
 			// First assignment after the PCPU's restart closes its
 			// recovery window.

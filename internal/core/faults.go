@@ -33,6 +33,9 @@ type faultRuntime struct {
 	// waits for its first post-restart assignment, or -1. The gap between
 	// restart and that assignment is the recovery time.
 	pendingRecovery []int64
+	// stallStart[v] is the injection timestamp of VCPU v's active stall,
+	// feeding the stall-duration histogram on recovery.
+	stallStart []int64
 
 	// Per-tick scratch, zeroed at the top of schedulerStep and read by
 	// the impulse rewards on Scheduling_Func after its output gate ran.
@@ -49,6 +52,7 @@ func newFaultRuntime(plan *faults.Plan, npcpus, nvcpus int) *faultRuntime {
 		credit:          make([]float64, npcpus),
 		stalled:         make([]bool, nvcpus),
 		pendingRecovery: make([]int64, npcpus),
+		stallStart:      make([]int64, nvcpus),
 	}
 	flt.reset()
 	return flt
@@ -64,6 +68,7 @@ func (flt *faultRuntime) reset() {
 	}
 	for i := range flt.stalled {
 		flt.stalled[i] = false
+		flt.stallStart[i] = 0
 	}
 	flt.misdecision = false
 	flt.tickRecoveryTicks = 0
@@ -145,8 +150,19 @@ func (a faultApplier) UnthrottlePCPU(p int) {
 	flt.credit[p] = 0
 }
 
-func (a faultApplier) StallVCPU(v int)   { a.sys.flt.stalled[v] = true }
-func (a faultApplier) UnstallVCPU(v int) { a.sys.flt.stalled[v] = false }
+func (a faultApplier) StallVCPU(v int) {
+	flt := a.sys.flt
+	flt.stalled[v] = true
+	flt.stallStart[v] = a.Now()
+}
+
+func (a faultApplier) UnstallVCPU(v int) {
+	flt := a.sys.flt
+	flt.stalled[v] = false
+	if h := a.sys.hist; h != nil {
+		h.stall.Record(a.Now() - flt.stallStart[v])
+	}
+}
 
 func (a faultApplier) BeginMisdecision() { a.sys.flt.misdecision = true }
 func (a faultApplier) EndMisdecision()   { a.sys.flt.misdecision = false }

@@ -111,6 +111,9 @@ func (w *Worker) RunIntervalContext(ctx context.Context, warmup, horizon float64
 	if w.sys.cfg.Faults != nil {
 		deriveFaultMetrics(out, w.sys.cfg.Faults)
 	}
+	if w.sys.hist != nil {
+		addHistMetrics(out, w.sys.hist)
+	}
 	return out, nil
 }
 

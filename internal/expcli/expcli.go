@@ -44,6 +44,9 @@ func Run(args []string, out io.Writer) (err error) {
 		verbose  = fs.Bool("v", false, "with -progress, also print per-batch and stopping-rule lines")
 		spans    = fs.String("spans", "", "write the telemetry span stream as JSONL to this file")
 		manifest = fs.String("manifest", "", "directory to write a run manifest (manifest.json) into")
+		probeDir = fs.String("probe", "", "directory to write per-cell deterministic time-series probe CSVs into (SAN engine only)")
+		probeInt = fs.Float64("probe-every", 0, "probe sampling cadence in virtual ticks (0 means horizon/100)")
+		hist     = fs.Bool("hist", false, "enable reward histograms: wait/queue/stall p50/p95/p99 metrics per cell (SAN engine only)")
 	)
 	var prof obs.Profiles
 	prof.Register(fs)
@@ -71,6 +74,16 @@ func Run(args []string, out io.Writer) (err error) {
 		p.Sim = sim.Options{MinReps: 3, MaxReps: 3, RelWidth: 10}
 	}
 	p.GridParallelism = *parallel
+	p.Histograms = *hist
+	if *probeDir != "" {
+		if p.Engine != experiments.EngineSAN {
+			return fmt.Errorf("-probe requires the SAN engine (use -engine san)")
+		}
+		p.Probe = &experiments.ProbeOptions{Dir: *probeDir, Every: *probeInt}
+	}
+	if *hist && p.Engine != experiments.EngineSAN {
+		return fmt.Errorf("-hist requires the SAN engine (use -engine san)")
+	}
 
 	// Assemble the telemetry sink: any combination of a human progress
 	// renderer, a JSONL span stream, and the manifest collector. With
@@ -171,7 +184,7 @@ func Run(args []string, out io.Writer) (err error) {
 	}
 
 	if spansFile != nil {
-		if err := jsonlSink.Err(); err != nil {
+		if err := jsonlSink.Close(); err != nil {
 			return fmt.Errorf("spans stream: %w", err)
 		}
 		if err := spansFile.Close(); err != nil {
@@ -196,9 +209,14 @@ func Run(args []string, out io.Writer) (err error) {
 				"max_reps":         p.Sim.MaxReps,
 				"quick":            *quick,
 				"grid_parallelism": p.GridParallelism,
+				"hist":             *hist,
+				"probe":            *probeDir,
 			},
 			Cells:  collector.Cells(),
 			WallNS: (obs.Clock() - start).Nanoseconds(),
+		}
+		if p.Probe != nil {
+			m.Series = p.Probe.Files()
 		}
 		for _, path := range outputs {
 			of, err := obs.HashOutput(path)

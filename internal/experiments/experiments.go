@@ -13,12 +13,15 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"path/filepath"
+	"sort"
 	"sync"
 
 	"vcpusim/internal/core"
 	"vcpusim/internal/fastsim"
 	"vcpusim/internal/faults"
 	"vcpusim/internal/obs"
+	"vcpusim/internal/obs/probe"
 	"vcpusim/internal/report"
 	"vcpusim/internal/rng"
 	"vcpusim/internal/san"
@@ -81,6 +84,51 @@ type Params struct {
 	// calls when GridParallelism > 1 (every obs sink does). Nil means
 	// telemetry off: no event, counter rollup, or timestamp is taken.
 	Sink obs.Sink
+	// Histograms enables the core model's reward distributions
+	// (wait-time, queue-depth, stall-duration): every SAN replication
+	// then reports hist/<base>/{p50,p95,p99,mean,count} metrics, and
+	// with a Sink installed the per-cell merged summaries ride the
+	// cell.end event into the run manifest. SAN engine only (the fast
+	// engine has no histogram surface); default off, which keeps the
+	// replication hot path allocation-identical to earlier releases.
+	Histograms bool
+	// Probe, when non-nil, records one deterministic time-series CSV
+	// per grid cell: after a cell's replications complete, a dedicated
+	// extra replication runs on a fresh worker with a probe sampler
+	// attached, always seeded with Seed — so the series is a pure
+	// function of the cell and Seed, bit-identical at any
+	// GridParallelism. Requires the SAN engine.
+	Probe *ProbeOptions
+}
+
+// ProbeOptions configures the per-cell time-series probes and collects
+// their manifest entries. One value is shared by every cell of a run;
+// the collection side is safe for concurrent cells.
+type ProbeOptions struct {
+	// Dir receives the probe CSV files, one per cell.
+	Dir string
+	// Every is the sampling cadence in virtual ticks; values <= 0
+	// default to Horizon/100.
+	Every float64
+
+	mu    sync.Mutex
+	files []obs.SeriesFile
+}
+
+func (o *ProbeOptions) add(sf obs.SeriesFile) {
+	o.mu.Lock()
+	o.files = append(o.files, sf)
+	o.mu.Unlock()
+}
+
+// Files returns the collected series entries sorted by name — the
+// deterministic order the run manifest records them in.
+func (o *ProbeOptions) Files() []obs.SeriesFile {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := append([]obs.SeriesFile(nil), o.files...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Defaults returns the parameterization used for EXPERIMENTS.md.
@@ -286,8 +334,9 @@ func sanCounters(s san.Stats) obs.Counters {
 // stateless and shared across slots. A non-nil acc collects every
 // replication's engine counters (the per-cell telemetry rollup); a
 // non-nil sink receives fault.inject/fault.recover spans when cfg carries
-// a fault plan.
-func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerFactory, acc *obs.Accumulator, sink obs.Sink) sim.ReplicatorFactory {
+// a fault plan; a non-nil hist collects every replication's reward
+// distributions into the per-cell merge.
+func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerFactory, acc *obs.Accumulator, sink obs.Sink, hist *obs.HistAccumulator) sim.ReplicatorFactory {
 	if p.Engine != EngineSAN {
 		rep := p.replicator(cfg, factory, acc)
 		return func() (sim.Replicator, error) { return rep, nil }
@@ -302,6 +351,9 @@ func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerF
 		}
 		if sink != nil {
 			w.SetFaultSink(sink)
+		}
+		if p.Histograms {
+			w.EnableHistograms()
 		}
 		return func(ctx context.Context, _ int, seed uint64) (map[string]float64, error) {
 			if err := ctx.Err(); err != nil {
@@ -318,6 +370,9 @@ func (p Params) replicatorFactory(cfg core.SystemConfig, factory core.SchedulerF
 					c.FaultRecovers = uint64(m[faults.RecoversMetric] + 0.5)
 				}
 				acc.Add(c)
+			}
+			if hist != nil {
+				w.CollectHistograms(hist)
 			}
 			return withEfficiency(m), nil
 		}, nil
@@ -337,13 +392,21 @@ func (p Params) runCell(ctx context.Context, cell string, cfg core.SystemConfig,
 	opts := p.Sim
 	opts.Seed = p.Seed
 	if p.Sink == nil {
-		return sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, nil, nil), opts)
+		sum, err := sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, nil, nil, nil), opts)
+		if err != nil {
+			return sum, err
+		}
+		return sum, p.probeCell(ctx, cell, cfg, factory)
 	}
 	p.Sink.Emit(obs.Event{Kind: obs.KindCellStart, Cell: cell})
 	opts.Sink = obs.WithCell(p.Sink, cell)
 	acc := &obs.Accumulator{}
+	var hist *obs.HistAccumulator
+	if p.Histograms {
+		hist = &obs.HistAccumulator{}
+	}
 	start := obs.Clock()
-	sum, err := sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, acc, opts.Sink), opts)
+	sum, err := sim.RunPooled(ctx, p.replicatorFactory(cfg, factory, acc, opts.Sink, hist), opts)
 	if err != nil {
 		return sum, err
 	}
@@ -351,15 +414,70 @@ func (p Params) runCell(ctx context.Context, cell string, cfg core.SystemConfig,
 	counters := acc.Counters()
 	counters.WallNS = elapsed.Nanoseconds()
 	counters.FillRate()
-	p.Sink.Emit(obs.Event{
+	ev := obs.Event{
 		Kind:      obs.KindCellEnd,
 		Cell:      cell,
 		Reps:      sum.Replications,
 		Converged: sum.Converged,
 		ElapsedNS: elapsed.Nanoseconds(),
 		Counters:  &counters,
-	})
-	return sum, nil
+	}
+	if hist != nil {
+		ev.Hist = hist.Summaries()
+	}
+	p.Sink.Emit(ev)
+	return sum, p.probeCell(ctx, cell, cfg, factory)
+}
+
+// probeCell runs a cell's dedicated probe replication: a fresh worker
+// (never the cell's pooled workers) traced by a Sampler at the probe
+// cadence, always seeded with p.Seed. Because the probed replication is
+// separate from the confidence-interval pool, the series is identical
+// whatever order or parallelism the pool ran with.
+func (p Params) probeCell(ctx context.Context, cell string, cfg core.SystemConfig, factory core.SchedulerFactory) error {
+	if p.Probe == nil {
+		return nil
+	}
+	if p.Engine != EngineSAN {
+		return fmt.Errorf("experiments: probes require the SAN engine (cell %s runs %q)", cell, p.Engine)
+	}
+	w, err := core.NewWorker(cfg, factory)
+	if err != nil {
+		return fmt.Errorf("experiments: probe %s: %w", cell, err)
+	}
+	every := p.Probe.Every
+	if every <= 0 {
+		every = float64(p.Horizon) / 100
+	}
+	s, err := probe.New(w, every)
+	if err != nil {
+		return fmt.Errorf("experiments: probe %s: %w", cell, err)
+	}
+	s.Install()
+	if _, err := w.RunIntervalContext(ctx, float64(p.Warmup), float64(p.Horizon), p.Seed); err != nil {
+		return fmt.Errorf("experiments: probe %s: %w", cell, err)
+	}
+	s.Finish(float64(p.Horizon))
+	name := probeSlug(cell)
+	sf, err := s.WriteFile(name, filepath.Join(p.Probe.Dir, name+".csv"))
+	if err != nil {
+		return fmt.Errorf("experiments: probe %s: %w", cell, err)
+	}
+	p.Probe.add(sf)
+	return nil
+}
+
+// probeSlug sanitizes a cell name into the probe file's name stem.
+func probeSlug(cell string) string {
+	b := []byte("probe_" + cell)
+	for i, c := range b {
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9', c == '-', c == '.':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
 }
 
 // run executes one experiment cell and returns the summary.

@@ -74,6 +74,9 @@ var faultRowMetrics = []struct {
 	{"spin fraction", core.SpinFractionMetric},
 	{"recovery (MTTR ticks)", faults.MTTRMetric},
 	{"work lost (ticks)", faults.WorkLostMetric},
+	{"wait p50 (ticks)", core.HistMetric(core.WaitHist, "p50")},
+	{"wait p95 (ticks)", core.HistMetric(core.WaitHist, "p95")},
+	{"wait p99 (ticks)", core.HistMetric(core.WaitHist, "p99")},
 }
 
 // FigureFaults runs the dependability campaign: four fault scenarios
@@ -81,12 +84,14 @@ var faultRowMetrics = []struct {
 // scheduler misdecision) injected into the Figure 8 system (2 PCPUs),
 // each evaluated under every algorithm. Rows are scenario × metric
 // (overall availability, availability while degraded, mean recovery time
-// after PCPU restart, work lost to co-schedule aborts); columns are the
-// algorithms. Fault campaigns require the SAN engine; the engine
+// after PCPU restart, work lost to co-schedule aborts, and the wait-time
+// distribution's p50/p95/p99 from the reward histograms); columns are
+// the algorithms. Fault campaigns require the SAN engine; the engine
 // parameter is overridden accordingly.
 func FigureFaults(ctx context.Context, p Params) (*report.Table, error) {
 	p = p.withDefaults()
 	p.Engine = EngineSAN // fault plans perturb the SAN executive
+	p.Histograms = true  // wait-time quantile rows come from the reward histograms
 	scenarios := p.faultScenarios()
 
 	var rows []string

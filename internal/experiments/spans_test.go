@@ -49,7 +49,7 @@ func TestSpanStreamGolden(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := sink.Err(); err != nil {
+	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
 	got := scrubSpans(buf.Bytes())

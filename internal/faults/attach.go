@@ -53,6 +53,9 @@ type Injector struct {
 	plan    *Plan
 	applier Applier
 	sink    obs.Sink
+	// rec, when set, records every inject/recover transition as a
+	// FlightFault entry (one nil test per transition when unset).
+	rec *obs.FlightRecorder
 
 	markerNames  []string
 	markerPlaces []*san.Place
@@ -126,6 +129,7 @@ func Attach(sub *san.Sub, plan *Plan, npcpus, nvcpus int, applier Applier) (*Inj
 	}
 
 	for i := range plan.Faults {
+		idx := i
 		s := &plan.Faults[i]
 		m := marker(s)
 		armed := sub.Place("Armed_"+s.Name, s.EffectiveCount())
@@ -160,6 +164,7 @@ func Attach(sub *san.Sub, plan *Plan, npcpus, nvcpus int, applier Applier) (*Inj
 				applier.BeginMisdecision()
 			}
 			inj.emit(obs.KindFaultInject, s)
+			inj.record(0, idx)
 		})
 		model.AddImpulseReward(SpecInjectsMetric(s.Name), inject, nil)
 		if s.Kind == KindPCPUCrash {
@@ -193,6 +198,7 @@ func Attach(sub *san.Sub, plan *Plan, npcpus, nvcpus int, applier Applier) (*Inj
 				applier.EndMisdecision()
 			}
 			inj.emit(obs.KindFaultRecover, s)
+			inj.record(1, idx)
 		})
 		model.AddImpulseReward(SpecRecoversMetric(s.Name), recover, nil)
 	}
@@ -244,9 +250,23 @@ func (inj *Injector) emit(kind string, s *Spec) {
 	}})
 }
 
+// record appends one fault transition (code 0 inject, 1 recover) to the
+// flight recorder, when one is attached.
+func (inj *Injector) record(code int32, idx int) {
+	if inj.rec == nil {
+		return
+	}
+	inj.rec.Record(float64(inj.applier.Now()), obs.FlightFault, code, int64(idx))
+}
+
 // SetSink installs (or, with nil, removes) the telemetry sink receiving
 // fault.inject / fault.recover spans. Safe to call between replications.
 func (inj *Injector) SetSink(s obs.Sink) { inj.sink = s }
+
+// SetFlightRecorder installs (or, with nil, removes) the flight recorder
+// receiving FlightFault entries from the inject and recover gates. Safe
+// to call between replications.
+func (inj *Injector) SetFlightRecorder(r *obs.FlightRecorder) { inj.rec = r }
 
 // MarkerNames returns the fully qualified names of the plan's fault
 // marker places, for reward Refs documentation.

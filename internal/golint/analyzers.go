@@ -320,6 +320,47 @@ func isProgramType(t types.Type) bool {
 	return p == "vcpusim/internal/san" || strings.HasSuffix(p, "/internal/san")
 }
 
+// stdoutPrinters are the fmt functions that write to process stdout.
+var stdoutPrinters = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+// NewEmitterPure returns the deep-inspection emitter rule: the probe
+// and timeline packages render byte-deterministic series and traces, so
+// they may read neither the wall clock (virtual time comes from the SAN
+// executive) nor write to process stdout (fmt.Print*); their output
+// goes to caller-owned buffers and writers only. These packages sit
+// under internal/obs, which the obs-clock rule exempts by prefix — this
+// rule is what keeps their determinism auditable.
+func NewEmitterPure(scope func(rel string) bool) *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:         RuleEmitterPure,
+		Doc:          "forbid wall-clock reads and fmt stdout printing in probe/timeline emitters; emitters observe virtual time and write only to their own buffers",
+		Scope:        scope,
+		IncludeTests: true,
+		Run: func(pass *analysis.Pass) (any, error) {
+			reportClockReads(pass, "inspection emitters observe virtual time only (the executive's Now); wall time would make the exported series non-reproducible")
+			for _, f := range pass.Files {
+				names := localPackageNames(f, "fmt")
+				if len(names) == 0 {
+					continue
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || !stdoutPrinters[sel.Sel.Name] {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok || !names[id.Name] {
+						return true
+					}
+					pass.Reportf(sel.Pos(), "calls fmt.%s; emitters write to their own buffers (fmt.Fprintf to a caller-supplied writer) — stdout belongs to the CLI layer", sel.Sel.Name)
+					return true
+				})
+			}
+			return nil, nil
+		},
+	}
+}
+
 // Analyzers returns the full determinism suite with the repository's
 // default scopes, for the `go vet -vettool` driver (cmd/vet). The
 // scopes are module-relative directories, so they apply identically

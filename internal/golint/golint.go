@@ -66,6 +66,11 @@ const (
 	// rng.Source outside internal/rng: sampling transforms belong to the
 	// versioned primitives in internal/rng.
 	RuleRawSampling = "raw-sampling"
+	// RuleEmitterPure flags wall-clock reads and fmt stdout printing in
+	// the deep-inspection emitters (probe samplers, timeline trackers):
+	// emitters observe virtual time only and write to their own buffers,
+	// so their output stays a pure function of the replication seed.
+	RuleEmitterPure = "emitter-pure"
 )
 
 // Finding is one determinism-contract violation.
@@ -109,6 +114,11 @@ type Config struct {
 	// math.Log to raw rng.Source draws (the sampling primitives
 	// themselves).
 	RawSamplingExempt []string
+	// EmitterScope lists the deep-inspection emitter packages held to
+	// the emitter-pure rule: no wall-clock reads, no fmt stdout
+	// printing. These live under internal/obs (exempt from obs-clock by
+	// prefix), so this rule is what keeps their byte-determinism honest.
+	EmitterScope []string
 }
 
 // DefaultConfig returns the vcpusim determinism contract: math/rand is
@@ -134,6 +144,7 @@ func DefaultConfig(root string) Config {
 		ObsClockExempt:    []string{"internal/obs"},
 		SanScope:          []string{"internal/san"},
 		RawSamplingExempt: []string{"internal/rng"},
+		EmitterScope:      []string{"internal/obs/probe", "internal/obs/timeline"},
 	}
 }
 
@@ -146,6 +157,7 @@ func (cfg Config) analyzers() []*analysis.Analyzer {
 		NewObsClock(analysis.NotInScope(append(append([]string(nil), cfg.ObsClockExempt...), cfg.ClockScope...)...)),
 		NewSanImmutable(analysis.InScope(cfg.SanScope...)),
 		NewRawSampling(analysis.NotInScope(cfg.RawSamplingExempt...)),
+		NewEmitterPure(analysis.InScope(cfg.EmitterScope...)),
 	}
 }
 

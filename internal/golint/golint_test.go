@@ -326,6 +326,59 @@ func alsoFine(src *rng.Source) float64 {
 	}
 }
 
+// TestEmitterPureFindings: the probe/timeline emitter packages may
+// neither read the wall clock nor print to stdout — their output must
+// be a pure function of the replication — while buffer-directed
+// fmt.Fprintf/Sprintf and the rest of internal/obs stay legal.
+func TestEmitterPureFindings(t *testing.T) {
+	got := runOn(t, map[string]string{
+		"internal/obs/probe/probe.go": `package probe
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+func bad(buf *bytes.Buffer) {
+	_ = time.Now()                 // flagged: wall clock in an emitter
+	fmt.Println("sampled")         // flagged: stdout from an emitter
+	fmt.Fprintf(buf, "%d,", 1)     // buffer-directed: legal
+	_ = fmt.Sprintf("v%d", 2)      // string building: legal
+}
+`,
+		// internal/obs itself stays exempt (obs-clock prefix exemption,
+		// and outside the emitter scope).
+		"internal/obs/obs.go": `package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+func Clock() time.Duration { return time.Since(start) }
+
+var start = time.Now()
+
+func Progress() { fmt.Println("cell done") }
+`,
+	})
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want 2 (time.Now and fmt.Println in the emitter only)", got)
+	}
+	for _, fd := range got {
+		if fd.Rule != RuleEmitterPure {
+			t.Errorf("rule = %q, want %q", fd.Rule, RuleEmitterPure)
+		}
+	}
+	if !strings.Contains(got[0].Message, "time.Now") {
+		t.Errorf("first finding should name time.Now: %q", got[0].Message)
+	}
+	if !strings.Contains(got[1].Message, "fmt.Println") {
+		t.Errorf("second finding should name fmt.Println: %q", got[1].Message)
+	}
+}
+
 func TestFindingString(t *testing.T) {
 	f := Finding{
 		Pos:     token.Position{Filename: "a/b.go", Line: 3, Column: 7},
@@ -452,13 +505,13 @@ func TestAnalyzers(t *testing.T) {
 	for _, a := range as {
 		names[a.Name] = true
 	}
-	for _, want := range []string{RuleGlobalRand, RuleWallClock, RuleMapRange, RuleObsClock, RuleSanImmutable, RuleRawSampling} {
+	for _, want := range []string{RuleGlobalRand, RuleWallClock, RuleMapRange, RuleObsClock, RuleSanImmutable, RuleRawSampling, RuleEmitterPure} {
 		if !names[want] {
 			t.Errorf("Analyzers() missing %q", want)
 		}
 	}
-	if len(as) != 6 {
-		t.Errorf("Analyzers() = %d analyzers, want 6", len(as))
+	if len(as) != 7 {
+		t.Errorf("Analyzers() = %d analyzers, want 7", len(as))
 	}
 }
 

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FlightKind classifies one flight-recorder entry.
+type FlightKind uint8
+
+// Flight-recorder entry kinds. Code and Arg are kind-specific compact
+// payloads decoded by the labeler the owning layer registers:
+//
+//   - FlightFiring:   Code is the activity's table index (timed
+//     activities first, then instantaneous, matching
+//     san.Program.ActivityNames); Arg is the firing ordinal.
+//   - FlightDecision: Code 0 is an assignment, 1 a preemption; Arg
+//     packs the VCPU index in the low 32 bits and the PCPU index in
+//     the high 32.
+//   - FlightFault:    Code 0 is an injection, 1 a recovery; Arg is the
+//     fault's index in the campaign plan.
+const (
+	FlightFiring FlightKind = iota + 1
+	FlightDecision
+	FlightFault
+	flightKinds
+)
+
+// FlightEntry is one recorded occurrence: virtual time plus a compact
+// kind-specific payload. Entries are plain values so the ring is a
+// single contiguous block with no pointers for the GC to trace.
+type FlightEntry struct {
+	T    float64
+	Kind FlightKind
+	Code int32
+	Arg  int64
+}
+
+// FlightRecorder is a bounded ring of recent simulation occurrences —
+// activity firings, scheduler decisions, fault transitions — kept so a
+// model error, livelock, or cancelled replication can dump the moments
+// leading up to it. It generalizes the SAN executor's fixed livelock
+// ring: one recorder spans layers, and each layer registers a labeler
+// that renders its own entries.
+//
+// Record is allocation-free and must stay that way: it sits on the
+// engine hot path behind a nil check. A recorder belongs to one
+// replication worker and is not safe for concurrent use.
+type FlightRecorder struct {
+	buf   []FlightEntry
+	n     uint64 // total entries ever recorded; buf index is n mod len
+	label [flightKinds]func(code int32, arg int64) string
+}
+
+// NewFlightRecorder returns a recorder retaining the last n entries
+// (minimum 16).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 16 {
+		n = 16
+	}
+	return &FlightRecorder{buf: make([]FlightEntry, n)}
+}
+
+// Record appends one entry, overwriting the oldest when full.
+func (r *FlightRecorder) Record(t float64, kind FlightKind, code int32, arg int64) {
+	r.buf[r.n%uint64(len(r.buf))] = FlightEntry{T: t, Kind: kind, Code: code, Arg: arg}
+	r.n++
+}
+
+// SetLabel registers the renderer for one entry kind. Layers register
+// at setup time (san for firings, core for decisions and faults), so a
+// dump names activities and entities instead of printing raw indices.
+func (r *FlightRecorder) SetLabel(kind FlightKind, fn func(code int32, arg int64) string) {
+	if kind < flightKinds {
+		r.label[kind] = fn
+	}
+}
+
+// Len returns the number of entries currently retained.
+func (r *FlightRecorder) Len() int {
+	if r.n < uint64(len(r.buf)) {
+		return int(r.n)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of entries ever recorded, including
+// overwritten ones.
+func (r *FlightRecorder) Total() uint64 { return r.n }
+
+// Reset discards all entries; the buffer and labelers are retained, so
+// a pooled worker reuses one recorder across replications.
+func (r *FlightRecorder) Reset() { r.n = 0 }
+
+// Dump renders the retained entries oldest-first, one line each, for
+// appending to an error. Each line carries the entry's virtual time and
+// the registered label (or the raw payload when no labeler is set).
+func (r *FlightRecorder) Dump() string {
+	n := uint64(r.Len())
+	if n == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := r.n - n; i < r.n; i++ {
+		e := r.buf[i%uint64(len(r.buf))]
+		fmt.Fprintf(&b, "  t=%-14g ", e.T)
+		var fn func(code int32, arg int64) string
+		if e.Kind < flightKinds {
+			fn = r.label[e.Kind]
+		}
+		if fn != nil {
+			b.WriteString(fn(e.Code, e.Arg))
+		} else {
+			fmt.Fprintf(&b, "kind=%d code=%d arg=%d", e.Kind, e.Code, e.Arg)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

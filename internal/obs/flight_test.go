@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	r := NewFlightRecorder(16)
+	for i := 0; i < 40; i++ {
+		r.Record(float64(i), FlightFiring, int32(i), int64(i))
+	}
+	if r.Len() != 16 || r.Total() != 40 {
+		t.Fatalf("len=%d total=%d, want 16/40", r.Len(), r.Total())
+	}
+	dump := r.Dump()
+	if strings.Contains(dump, "t=23 ") {
+		t.Error("dump retains an entry older than the ring")
+	}
+	for _, want := range []string{"t=24", "t=39"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %s:\n%s", want, dump)
+		}
+	}
+	// Oldest-first order.
+	if strings.Index(dump, "t=24") > strings.Index(dump, "t=39") {
+		t.Error("dump is not oldest-first")
+	}
+}
+
+func TestFlightRecorderLabels(t *testing.T) {
+	r := NewFlightRecorder(16)
+	r.SetLabel(FlightFiring, func(code int32, arg int64) string {
+		return fmt.Sprintf("fire act%d #%d", code, arg)
+	})
+	r.Record(1.5, FlightFiring, 3, 7)
+	r.Record(2.5, FlightDecision, 1, 9) // no labeler: raw payload
+	dump := r.Dump()
+	if !strings.Contains(dump, "fire act3 #7") {
+		t.Errorf("labeled entry not rendered:\n%s", dump)
+	}
+	if !strings.Contains(dump, "kind=2 code=1 arg=9") {
+		t.Errorf("unlabeled entry not rendered raw:\n%s", dump)
+	}
+}
+
+func TestFlightRecorderReset(t *testing.T) {
+	r := NewFlightRecorder(16)
+	r.Record(1, FlightFiring, 0, 0)
+	r.Reset()
+	if r.Len() != 0 || r.Dump() != "" {
+		t.Fatal("Reset did not clear the ring")
+	}
+	if NewFlightRecorder(1).buf == nil || len(NewFlightRecorder(1).buf) != 16 {
+		t.Fatal("minimum capacity not applied")
+	}
+}
+
+// TestFlightRecorderRecordAllocFree pins the hot-path contract: Record
+// sits behind a nil check in the SAN fire path and the scheduler step,
+// so it must never allocate.
+func TestFlightRecorderRecordAllocFree(t *testing.T) {
+	r := NewFlightRecorder(64)
+	if n := testing.AllocsPerRun(200, func() {
+		r.Record(3.25, FlightFiring, 12, 99)
+	}); n != 0 {
+		t.Fatalf("Record allocates %v allocs/op, want 0", n)
+	}
+}

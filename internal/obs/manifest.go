@@ -14,9 +14,10 @@ import (
 
 // ManifestSchemaVersion is the current manifest schema generation,
 // recorded in every manifest and checked by the validator. Generation 2
-// added the optional determinism-contract stamp; generation-1 manifests
-// (no contract field) remain valid.
-const ManifestSchemaVersion = 2
+// added the optional determinism-contract stamp; generation 3 added
+// probe series hashes and per-cell histogram digests. Earlier-generation
+// manifests (without those fields) remain valid.
+const ManifestSchemaVersion = 3
 
 // Manifest is the provenance record of one experiment invocation: enough
 // to re-run it (seed, parameters, tool build) and to check what it did
@@ -37,7 +38,11 @@ type Manifest struct {
 	Params   map[string]any `json:"params,omitempty"`
 	Cells    []ManifestCell `json:"cells"`
 	Outputs  []OutputFile   `json:"outputs,omitempty"`
-	WallNS   int64          `json:"wall_ns"`
+	// Series records the probe time-series files the run emitted, one
+	// entry per attached probe, hash-stamped so `manifest -check` can
+	// gate on them the same way it gates engine counters.
+	Series []SeriesFile `json:"series,omitempty"`
+	WallNS int64        `json:"wall_ns"`
 }
 
 // ManifestCell is one grid cell's rollup.
@@ -47,11 +52,27 @@ type ManifestCell struct {
 	Converged    bool     `json:"converged"`
 	ElapsedNS    int64    `json:"elapsed_ns"`
 	Counters     Counters `json:"counters"`
+	// Hist digests the cell's distribution rewards (wait time, queue
+	// depth, stall duration) merged across replications; absent when the
+	// run did not accumulate histograms.
+	Hist map[string]HistSummary `json:"hist,omitempty"`
 }
 
 // OutputFile records the hash of one file the run produced.
 type OutputFile struct {
 	Path   string `json:"path"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// SeriesFile records one emitted probe time series: which cell it
+// sampled, where it was written, how many rows it holds, and the hash
+// of its bytes. Points counts sampled rows (not the header), so a probe
+// that silently sampled nothing fails the manifest gate.
+type SeriesFile struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Points int    `json:"points"`
 	Bytes  int64  `json:"bytes"`
 	SHA256 string `json:"sha256"`
 }
@@ -129,8 +150,10 @@ func ReadManifest(path string) (Manifest, error) {
 
 // CheckCounters enforces the observability gate on a manifest: every cell
 // must have recorded activity (firings > 0, events > 0) and a measured
-// throughput (events_per_sec > 0). A manifest that passes proves the
-// telemetry layer was live for the run, not silently disabled.
+// throughput (events_per_sec > 0), and every probe series the manifest
+// claims must have sampled rows and carry a real content hash. A manifest
+// that passes proves the telemetry layer was live for the run, not
+// silently disabled.
 func (m Manifest) CheckCounters() error {
 	if len(m.Cells) == 0 {
 		return fmt.Errorf("obs: manifest has no cells")
@@ -144,6 +167,49 @@ func (m Manifest) CheckCounters() error {
 		}
 		if c.Counters.EventsPerSec <= 0 {
 			return fmt.Errorf("obs: cell %q has no events/s measurement", c.Cell)
+		}
+	}
+	for _, s := range m.Series {
+		if s.Name == "" || s.Path == "" {
+			return fmt.Errorf("obs: series entry missing name or path")
+		}
+		if s.Points <= 0 {
+			return fmt.Errorf("obs: series %q sampled no rows", s.Name)
+		}
+		if s.Bytes <= 0 {
+			return fmt.Errorf("obs: series %q is empty", s.Name)
+		}
+		if len(s.SHA256) != sha256.Size*2 {
+			return fmt.Errorf("obs: series %q has malformed sha256 %q", s.Name, s.SHA256)
+		}
+	}
+	return nil
+}
+
+// VerifySeries re-reads every probe series the manifest claims and
+// compares size and content hash against the recorded entry — the
+// determinism gate `vcpusim manifest -check` runs. Each path is tried
+// as written, then relative to baseDir (the manifest's own directory)
+// so a results tree can be checked from anywhere.
+func (m Manifest) VerifySeries(baseDir string) error {
+	for _, s := range m.Series {
+		path := s.Path
+		if _, err := os.Stat(path); err != nil && baseDir != "" {
+			alt := filepath.Join(baseDir, s.Path)
+			if _, err := os.Stat(alt); err == nil {
+				path = alt
+			}
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("obs: series %q: %w", s.Name, err)
+		}
+		if int64(len(data)) != s.Bytes {
+			return fmt.Errorf("obs: series %q: %d bytes on disk, manifest records %d", s.Name, len(data), s.Bytes)
+		}
+		sum := sha256.Sum256(data)
+		if got := fmt.Sprintf("%x", sum); got != s.SHA256 {
+			return fmt.Errorf("obs: series %q: content hash %s does not match manifest %s", s.Name, got, s.SHA256)
 		}
 	}
 	return nil

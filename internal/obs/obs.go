@@ -52,7 +52,12 @@ type Event struct {
 	ElapsedNS int64              `json:"elapsed_ns,omitempty"`
 	Widths    map[string]float64 `json:"widths,omitempty"`
 	Counters  *Counters          `json:"counters,omitempty"`
-	Attrs     any                `json:"attrs,omitempty"`
+	// Hist carries per-cell histogram digests on cell.end events when the
+	// run accumulated distribution rewards (see Histogram); nil otherwise,
+	// so runs without histograms emit byte-identical spans to before the
+	// field existed.
+	Hist  map[string]HistSummary `json:"hist,omitempty"`
+	Attrs any                    `json:"attrs,omitempty"`
 }
 
 // Sink consumes telemetry events. Implementations must be safe for

@@ -58,7 +58,7 @@ func TestJSONLSinkDeterministicLines(t *testing.T) {
 	s.Emit(Event{Kind: KindCellEnd, Cell: "c", Reps: 3, Converged: true,
 		Counters: &Counters{Events: 10, Firings: 5}})
 	s.Emit(Event{Kind: KindStop, Reps: 3, Widths: map[string]float64{"b": 2, "a": 1}})
-	if err := s.Err(); err != nil {
+	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
@@ -93,11 +93,52 @@ func TestJSONLSinkStickyError(t *testing.T) {
 	s := NewJSONL(fw)
 	s.Emit(Event{Kind: KindBatch})
 	s.Emit(Event{Kind: KindBatch})
+	// Writes are buffered; the failure surfaces at Close and is sticky.
+	if err := s.Close(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Close() = %v", err)
+	}
 	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "disk full") {
 		t.Fatalf("Err() = %v", err)
 	}
 	if fw.n != 1 {
 		t.Errorf("sink kept writing after error: %d writes", fw.n)
+	}
+}
+
+// countWriter records how many bytes reached the underlying writer.
+type countWriter struct {
+	buf bytes.Buffer
+	n   int
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += len(p)
+	return c.buf.Write(p)
+}
+
+// TestJSONLSinkFlushOnClose pins the explicit flush contract: buffered
+// lines reach the underlying writer at Close (not necessarily before),
+// Close is idempotent, and events emitted after Close are dropped.
+func TestJSONLSinkFlushOnClose(t *testing.T) {
+	cw := &countWriter{}
+	s := NewJSONL(cw)
+	s.Emit(Event{Kind: KindBatch, Cell: "c", Batch: 1})
+	if cw.n != 0 {
+		t.Fatalf("small event bypassed the buffer: %d bytes written before Close", cw.n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(cw.buf.String(), "\n"); got != 1 {
+		t.Fatalf("after Close got %d lines, want 1", got)
+	}
+	flushed := cw.n
+	s.Emit(Event{Kind: KindBatch, Cell: "c", Batch: 2})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.n != flushed {
+		t.Fatalf("emit after Close reached the writer: %d bytes, want %d", cw.n, flushed)
 	}
 }
 
@@ -119,7 +160,7 @@ func TestJSONLSinkConcurrent(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if err := s.Err(); err != nil {
+	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 	sc := bufio.NewScanner(&buf)
@@ -146,16 +187,30 @@ func TestHumanSinkRendering(t *testing.T) {
 	if strings.Count(out, "\n") != 1 {
 		t.Fatalf("want exactly one line, got %q", out)
 	}
-	for _, want := range []string{"figure 8 RRS 1PCPU", "12 reps", "converged", "1.5s", "2M events/s"} {
+	for _, want := range []string{"figure 8 RRS 1PCPU", "12 reps", "converged", "1.5s",
+		"3M events", "2M events/s"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("line %q missing %q", out, want)
 		}
 	}
 	buf.Reset()
 	h.Verbose = true
+	h.Emit(Event{Kind: KindCellStart, Cell: "c"})
 	h.Emit(Event{Kind: KindStop, Cell: "c", Reps: 6, Widths: map[string]float64{"m": 0.25}})
-	if !strings.Contains(buf.String(), "0.25") {
-		t.Errorf("verbose stop-check line missing width: %q", buf.String())
+	h.Emit(Event{Kind: KindBatch, Cell: "c", Batch: 2, Reps: 4})
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("verbose output = %q, want 3 lines", buf.String())
+	}
+	if !strings.Contains(lines[1], "0.25") {
+		t.Errorf("verbose stop-check line missing width: %q", lines[1])
+	}
+	// Batch and stop-check lines carry the cell's elapsed wall time once
+	// its start has been seen ("..., <duration>" suffix).
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, ", ") || !strings.HasSuffix(line, "s") {
+			t.Errorf("progress line missing elapsed duration: %q", line)
+		}
 	}
 	buf.Reset()
 	h.CR = true
@@ -239,6 +294,11 @@ func TestManifestRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	m := validManifest()
 	m.Params = map[string]any{"figure": "8", "quick": true}
+	m.Series = []SeriesFile{{Name: "figure 8 RRS 1PCPU", Path: "probe.csv", Points: 12,
+		Bytes: 340, SHA256: strings.Repeat("ab", 32)}}
+	m.Cells[0].Hist = map[string]HistSummary{
+		"wait": {Count: 9, Mean: 3.5, P50: 3, P95: 6, P99: 6, Max: 6},
+	}
 	path, err := WriteManifest(dir, m)
 	if err != nil {
 		t.Fatal(err)
@@ -250,6 +310,12 @@ func TestManifestRoundTrip(t *testing.T) {
 	if got.Tool != m.Tool || got.Seed != m.Seed || len(got.Cells) != 1 ||
 		got.Cells[0].Counters.Events != 100 {
 		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if len(got.Series) != 1 || got.Series[0].Points != 12 || got.Series[0].SHA256 != m.Series[0].SHA256 {
+		t.Fatalf("round trip lost series: %+v", got.Series)
+	}
+	if h := got.Cells[0].Hist["wait"]; h.Count != 9 || h.P95 != 6 {
+		t.Fatalf("round trip lost histogram digest: %+v", got.Cells[0].Hist)
 	}
 	if err := got.CheckCounters(); err != nil {
 		t.Fatal(err)
@@ -277,6 +343,22 @@ func TestCheckCountersGate(t *testing.T) {
 		{"zero events", func(m *Manifest) { m.Cells[0].Counters.Events = 0 }},
 		{"no rate", func(m *Manifest) { m.Cells[0].Counters.EventsPerSec = 0 }},
 		{"no cells", func(m *Manifest) { m.Cells = nil }},
+		{"series with no rows", func(m *Manifest) {
+			m.Series = []SeriesFile{{Name: "p", Path: "p.csv", Points: 0, Bytes: 10,
+				SHA256: strings.Repeat("ab", 32)}}
+		}},
+		{"series with no bytes", func(m *Manifest) {
+			m.Series = []SeriesFile{{Name: "p", Path: "p.csv", Points: 3, Bytes: 0,
+				SHA256: strings.Repeat("ab", 32)}}
+		}},
+		{"series with bad hash", func(m *Manifest) {
+			m.Series = []SeriesFile{{Name: "p", Path: "p.csv", Points: 3, Bytes: 10,
+				SHA256: "deadbeef"}}
+		}},
+		{"series with no name", func(m *Manifest) {
+			m.Series = []SeriesFile{{Path: "p.csv", Points: 3, Bytes: 10,
+				SHA256: strings.Repeat("ab", 32)}}
+		}},
 	} {
 		bad := validManifest()
 		mut.mod(&bad)

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -8,28 +9,39 @@ import (
 	"time"
 )
 
-// JSONLSink writes every event as one JSON object per line. It is safe
-// for concurrent use: each Emit marshals outside the lock and performs a
-// single Write under it, so lines from concurrent cells never interleave.
-// Marshal or write errors are sticky and reported by Err; Emit itself
-// never fails (telemetry must not abort an experiment).
+// JSONLSink writes every event as one JSON object per line through an
+// internal buffer. It is safe for concurrent use: each Emit marshals
+// outside the lock and performs a single buffered write under it, so
+// lines from concurrent cells never interleave. Marshal or write errors
+// are sticky and reported by Err; Emit itself never fails (telemetry
+// must not abort an experiment).
+//
+// Because writes are buffered, callers that hand the sink a file must
+// Close it before closing the file: Close flushes the buffer and
+// returns the first error the sink saw, making flush-on-close the
+// explicit end of the stream rather than an accident of buffer size.
 //
 // By default the stream carries no wall-clock timestamps, so the span
 // stream of a seeded run is byte-deterministic up to the elapsed_ns /
 // wall_ns / events_per_sec fields; set Stamp to add an RFC 3339 "ts"
 // field to every line.
 type JSONLSink struct {
-	mu    sync.Mutex
-	w     io.Writer
-	err   error
-	stamp bool
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	err    error
+	stamp  bool
+	closed bool
 }
 
 // NewJSONL returns a JSONL sink writing to w.
-func NewJSONL(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+func NewJSONL(w io.Writer) *JSONLSink { return &JSONLSink{bw: bufio.NewWriterSize(w, 1<<15)} }
 
 // NewJSONLStamped returns a JSONL sink that timestamps every line.
-func NewJSONLStamped(w io.Writer) *JSONLSink { return &JSONLSink{w: w, stamp: true} }
+func NewJSONLStamped(w io.Writer) *JSONLSink {
+	s := NewJSONL(w)
+	s.stamp = true
+	return s
+}
 
 // stampedEvent wraps Event with a wall-clock timestamp.
 type stampedEvent struct {
@@ -56,10 +68,10 @@ func (s *JSONLSink) Emit(e Event) {
 		}
 		return
 	}
-	if s.err != nil {
+	if s.err != nil || s.closed {
 		return
 	}
-	if _, err := s.w.Write(append(buf, '\n')); err != nil {
+	if _, err := s.bw.Write(append(buf, '\n')); err != nil {
 		s.err = fmt.Errorf("obs: write event: %w", err)
 	}
 }
@@ -68,6 +80,22 @@ func (s *JSONLSink) Emit(e Event) {
 func (s *JSONLSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes buffered lines to the underlying writer and returns the
+// first marshal, write, or flush error. Events emitted after Close are
+// dropped. Close does not close the underlying writer — the caller that
+// opened the file closes it, after Close has flushed into it.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		if err := s.bw.Flush(); err != nil && s.err == nil {
+			s.err = fmt.Errorf("obs: flush events: %w", err)
+		}
+	}
 	return s.err
 }
 
@@ -86,30 +114,51 @@ type HumanSink struct {
 	// partially written spinner or status line on the same terminal is
 	// overwritten instead of appended to.
 	CR bool
+	// starts records each in-flight cell's start on the process clock so
+	// batch and stop-check lines can carry the cell's elapsed wall time —
+	// the events themselves only gain a duration at cell.end.
+	starts map[string]time.Duration
 }
 
 // NewHuman returns a human-readable progress sink writing to w.
 func NewHuman(w io.Writer) *HumanSink { return &HumanSink{w: w} }
 
 // Emit renders one event, if its kind is shown at the current verbosity.
+// Every progress line for a cell carries the cell's wall-clock duration —
+// the completed duration on cell.end, the running elapsed time on batch
+// and stop-check lines — and cell.end lines always carry the engine
+// counter rollup, so the terminal stream and the span stream agree on
+// what a cell cost.
 func (h *HumanSink) Emit(e Event) {
 	var line string
 	switch e.Kind {
+	case KindCellStart:
+		h.markStart(e.Cell)
+		if !h.Verbose {
+			return
+		}
+		line = fmt.Sprintf("  %s %s", e.Kind, e.Cell)
 	case KindCellEnd:
+		h.forgetStart(e.Cell)
 		status := "converged"
 		if !e.Converged {
 			status = "budget exhausted"
 		}
 		line = fmt.Sprintf("cell %-45s %3d reps, %s, %s", e.Cell, e.Reps, status,
 			time.Duration(e.ElapsedNS).Round(time.Millisecond))
-		if c := e.Counters; c != nil && c.EventsPerSec > 0 {
-			line += fmt.Sprintf(", %.3gM events/s", c.EventsPerSec/1e6)
+		if c := e.Counters; c != nil {
+			line += fmt.Sprintf(", %.3gM events, %.3gM firings",
+				float64(c.Events)/1e6, float64(c.Firings)/1e6)
+			if c.EventsPerSec > 0 {
+				line += fmt.Sprintf(", %.3gM events/s", c.EventsPerSec/1e6)
+			}
 		}
 	case KindBatch:
 		if !h.Verbose {
 			return
 		}
-		line = fmt.Sprintf("  %s batch %d: %d reps done", e.Cell, e.Batch, e.Reps)
+		line = fmt.Sprintf("  %s batch %d: %d reps done%s", e.Cell, e.Batch, e.Reps,
+			h.sinceStart(e.Cell))
 	case KindStop:
 		if !h.Verbose {
 			return
@@ -120,8 +169,8 @@ func (h *HumanSink) Emit(e Event) {
 				worst = w
 			}
 		}
-		line = fmt.Sprintf("  %s stop-check at %d reps: converged=%v, worst rel half-width %.3g",
-			e.Cell, e.Reps, e.Converged, worst)
+		line = fmt.Sprintf("  %s stop-check at %d reps: converged=%v, worst rel half-width %.3g%s",
+			e.Cell, e.Reps, e.Converged, worst, h.sinceStart(e.Cell))
 	default:
 		if !h.Verbose {
 			return
@@ -129,6 +178,35 @@ func (h *HumanSink) Emit(e Event) {
 		line = fmt.Sprintf("  %s %s", e.Kind, e.Cell)
 	}
 	h.writeLine(line)
+}
+
+// markStart stamps a cell's start on the process clock.
+func (h *HumanSink) markStart(cell string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.starts == nil {
+		h.starts = make(map[string]time.Duration)
+	}
+	h.starts[cell] = Clock()
+}
+
+// forgetStart drops a completed cell's start stamp.
+func (h *HumanSink) forgetStart(cell string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.starts, cell)
+}
+
+// sinceStart renders ", <elapsed>" for a cell with a recorded start,
+// or "" when the cell's start was never seen.
+func (h *HumanSink) sinceStart(cell string) string {
+	h.mu.Lock()
+	start, ok := h.starts[cell]
+	h.mu.Unlock()
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(", %s", (Clock() - start).Round(time.Millisecond))
 }
 
 // writeLine writes one full line atomically.
@@ -158,6 +236,7 @@ func (c *Collector) Emit(e Event) {
 		Replications: e.Reps,
 		Converged:    e.Converged,
 		ElapsedNS:    e.ElapsedNS,
+		Hist:         e.Hist,
 	}
 	if e.Counters != nil {
 		cell.Counters = *e.Counters

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"vcpusim/internal/des"
+	"vcpusim/internal/obs"
 	"vcpusim/internal/rng"
 	"vcpusim/internal/stats"
 )
@@ -112,6 +113,13 @@ type Instance struct {
 	// cost one nil test per firing when unset.
 	preFire, postFire func(*Activity)
 
+	// flight, when set, records every firing into a bounded ring so a
+	// model error, livelock, or cancelled replication can dump the
+	// moments leading up to it (the generalization of stabRing, which
+	// only covers instantaneous livelocks). One nil test per firing when
+	// unset; Reset rewinds it so dumps never leak a prior replication.
+	flight *obs.FlightRecorder
+
 	// caseWeights is the chooseCase scratch buffer (max case count).
 	caseWeights []float64
 
@@ -215,6 +223,9 @@ func (in *Instance) Reset(seed uint64) {
 	in.failed = nil
 	in.ready = true
 	in.tracking = false
+	if in.flight != nil {
+		in.flight.Reset()
+	}
 
 	in.instFirings = 0
 	in.aborts = 0
@@ -297,6 +308,40 @@ func (in *Instance) DisabledActivityNames() []string {
 	}
 	return names
 }
+
+// SetFlightRecorder attaches (or with nil detaches) a flight recorder:
+// every activity firing is recorded into its bounded ring, and any model
+// error, livelock, or cancellation dumps the retained entries into the
+// returned error. The executive registers the firing labeler so dumps
+// name activities; other layers (the core scheduler, fault injection)
+// record their own entry kinds into the same ring, giving one merged
+// recent-history view. The recorder persists across Reset (its ring is
+// rewound, not detached), so a pooled worker configures it once.
+func (in *Instance) SetFlightRecorder(fr *obs.FlightRecorder) {
+	in.flight = fr
+	if fr == nil {
+		return
+	}
+	fr.SetLabel(obs.FlightFiring, func(code int32, arg int64) string {
+		i := int(code)
+		name := fmt.Sprintf("activity#%d", i)
+		switch {
+		case i >= 0 && i < len(in.timed):
+			name = in.timed[i].act.name
+		case i >= len(in.timed) && i-len(in.timed) < len(in.instants):
+			name = in.instants[i-len(in.timed)].act.name
+		}
+		return fmt.Sprintf("fire %s (firing #%d)", name, arg)
+	})
+}
+
+// FlightRecorder returns the attached flight recorder, or nil.
+func (in *Instance) FlightRecorder() *obs.FlightRecorder { return in.flight }
+
+// Now returns the instance's current virtual time. Probes and timelines
+// read it from inside fire hooks; between runs it is the time the last
+// replication ended on.
+func (in *Instance) Now() float64 { return in.kernel.Now() }
 
 // SetFireHooks installs (or with nils removes) the verification hooks
 // bracketing every firing: pre runs before the activity's input-gate
@@ -407,7 +452,7 @@ func (in *Instance) RunIntervalContext(ctx context.Context, warmup, horizon floa
 		if untilCtxCheck--; untilCtxCheck <= 0 {
 			untilCtxCheck = ctxCheckInterval
 			if err := ctx.Err(); err != nil {
-				return Results{}, fmt.Errorf("san: replication cancelled at t=%g: %w", in.kernel.Now(), err)
+				return Results{}, in.withFlight(fmt.Errorf("san: replication cancelled at t=%g: %w", in.kernel.Now(), err))
 			}
 		}
 	}
@@ -415,7 +460,7 @@ func (in *Instance) RunIntervalContext(ctx context.Context, warmup, horizon floa
 		return Results{}, in.failed
 	}
 	if err := in.prog.model.Err(); err != nil {
-		return Results{}, fmt.Errorf("san: model error during run: %w", err)
+		return Results{}, in.withFlight(fmt.Errorf("san: model error during run: %w", err))
 	}
 
 	if !in.warmSnapped {
@@ -672,6 +717,9 @@ func (in *Instance) stabilize() error {
 				i = in.candInst.next(i + 1)
 				continue
 			}
+			if in.flight != nil {
+				in.flight.Record(in.kernel.Now(), obs.FlightFiring, int32(len(in.timed)+i), int64(in.firings))
+			}
 			in.fire(ap)
 			in.instFirings++
 			if in.actFirings != nil {
@@ -799,6 +847,9 @@ func (in *Instance) refresh() {
 // complete is the kernel handler for a timed-activity completion.
 func (in *Instance) complete(i int) {
 	ap := in.timed[i]
+	if in.flight != nil {
+		in.flight.Record(in.kernel.Now(), obs.FlightFiring, int32(i), int64(in.firings))
+	}
 	in.fire(ap)
 	if in.actFirings != nil {
 		in.actFirings[i]++
@@ -851,7 +902,19 @@ func (in *Instance) observeRates() {
 // fail records a fatal execution error and halts the kernel.
 func (in *Instance) fail(err error) {
 	if in.failed == nil {
-		in.failed = err
+		in.failed = in.withFlight(err)
 	}
 	in.kernel.Halt()
+}
+
+// withFlight appends the flight recorder's recent-history dump to a
+// fatal error, when a recorder is attached and has entries. The wrap
+// preserves the original error for errors.Is/As.
+func (in *Instance) withFlight(err error) error {
+	if in.flight == nil || in.flight.Len() == 0 {
+		return err
+	}
+	return fmt.Errorf("%w\nflight recorder (last %d of %d records):\n%s",
+		err, in.flight.Len(), in.flight.Total(),
+		strings.TrimSuffix(in.flight.Dump(), "\n"))
 }

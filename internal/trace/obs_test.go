@@ -33,7 +33,7 @@ func TestObsTracerRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	sink := obs.NewJSONL(&buf)
 	driveTracer(&ObsTracer{Sink: sink, Cell: "roundtrip"})
-	if err := sink.Err(); err != nil {
+	if err := sink.Close(); err != nil {
 		t.Fatal(err)
 	}
 

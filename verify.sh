@@ -46,6 +46,19 @@ trap 'rm -rf "$obsdir"' EXIT
 go run ./cmd/vcpusim experiments -figure 8 -quick -manifest "$obsdir" >/dev/null
 go run ./cmd/vcpusim manifest -check "$obsdir/manifest.json"
 
+echo "== deep-inspection gate (trace byte determinism + probe series hashes)"
+go run ./cmd/vcpusim trace -config cmd/vcpusim/testdata/fig8.json -horizon 400 \
+    -out "$obsdir/trace.json" -probe "$obsdir/series.csv" >/dev/null
+go run ./cmd/vcpusim trace -config cmd/vcpusim/testdata/fig8.json -horizon 400 \
+    -out "$obsdir/trace2.json" -probe "$obsdir/series2.csv" >/dev/null
+cmp "$obsdir/trace.json" "$obsdir/trace2.json"
+cmp "$obsdir/series.csv" "$obsdir/series2.csv"
+probedir=$(mktemp -d)
+go run ./cmd/vcpusim experiments -figure 8 -quick -engine san -hist \
+    -probe "$probedir/series" -manifest "$probedir" >/dev/null
+go run ./cmd/vcpusim manifest -check "$probedir/manifest.json"
+rm -rf "$probedir"
+
 echo "== bench smoke (./bench.sh smoke)"
 ./bench.sh smoke
 
