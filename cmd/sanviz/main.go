@@ -10,6 +10,7 @@
 //	sanviz -vms 2,1,1 -pcpus 4 | dot -Tsvg > model.svg
 //	sanviz -vms 2,2 -joins        # list join places (paper Tables 1-2)
 //	sanviz -vms 2,1 -pcpus 2 -faults plan.json > faulty.dot
+//	sanviz -topology topology.json > cluster.dot
 package main
 
 import (
@@ -43,9 +44,13 @@ func run(args []string, out io.Writer) error {
 		pcpus      = fs.Int("pcpus", 4, "number of PCPUs (with -vms)")
 		joins      = fs.Bool("joins", false, "list join places and their sharing sub-models instead of DOT")
 		faultsPath = fs.String("faults", "", "JSON fault-injection plan to compose into the model")
+		topoPath   = fs.String("topology", "", "JSON cluster topology: render the host graph instead of one host's SAN model")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *topoPath != "" {
+		return runTopology(out, *topoPath)
 	}
 
 	var cfg core.SystemConfig

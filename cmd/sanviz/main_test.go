@@ -96,3 +96,43 @@ func TestRunBadVMsFlag(t *testing.T) {
 		t.Fatal("bad -vms accepted")
 	}
 }
+
+// TestRunTopologyDotGolden pins the DOT rendering of a cluster
+// topology's host graph: the dispatcher with its arrival schedule, every
+// expanded host with its slots and admission state, the fault-carrying
+// group highlighted, and the migration-policy node. Regenerate with
+// `go test ./cmd/sanviz -run TopologyDot -update`.
+func TestRunTopologyDotGolden(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-topology", "testdata/topology.json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/topology.dot"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("topology DOT drifted from %s (rerun with -update if intended)", golden)
+	}
+	for _, frag := range []string{
+		"dispatcher", "policy: least-loaded", "busy-0", "busy-1", "idle-0",
+		"slot0: 2 VCPUs (admitted)", "faults: 1 specs", "migration",
+		"t=100: 3 x 1-VCPU",
+	} {
+		if !strings.Contains(b.String(), frag) {
+			t.Errorf("topology DOT missing %q", frag)
+		}
+	}
+}
+
+func TestRunBadTopologyFlag(t *testing.T) {
+	if err := run([]string{"-topology", "testdata/nope.json"}, os.Stderr); err == nil {
+		t.Fatal("missing topology accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"vcpusim/internal/cluster"
+)
+
+// topologyDot renders a cluster topology's host graph as Graphviz DOT:
+// one record node per host (its group, PCPUs, scheduler, and VM slots
+// with admission state), a dispatcher node routing the arrival schedule
+// through the placement policy, and — when migration is configured — a
+// migration-policy node dotted to every host it may drain or fill. The
+// rendering is a pure function of the topology, so the output is
+// byte-stable and pinned by a golden fixture.
+func topologyDot(out io.Writer, t *cluster.Topology) {
+	name := t.Name
+	if name == "" {
+		name = "cluster"
+	}
+	fmt.Fprintf(out, "digraph %q {\n", "cluster: "+name)
+	fmt.Fprintf(out, "  rankdir=LR;\n")
+	fmt.Fprintf(out, "  label=\"%s — %d hosts, %d VCPUs provisioned, horizon %g ticks\";\n",
+		name, t.NumHosts(), t.TotalVCPUs(), t.Horizon)
+	fmt.Fprintf(out, "  node [shape=record, fontsize=10];\n\n")
+
+	// Dispatcher: the placement policy plus the arrival schedule.
+	totalVMs := 0
+	for _, a := range t.Arrivals {
+		totalVMs += a.Count
+	}
+	fmt.Fprintf(out, "  dispatcher [style=filled, fillcolor=lightblue, label=\"{Dispatcher|policy: %s|%d VMs in %d waves}\"];\n",
+		t.Placement, totalVMs, len(t.Arrivals))
+	for i, a := range t.Arrivals {
+		fmt.Fprintf(out, "  arrival%d [shape=plaintext, label=\"t=%g: %d x %d-VCPU\"];\n", i, a.At, a.Count, a.VCPUs)
+		fmt.Fprintf(out, "  arrival%d -> dispatcher [style=dotted];\n", i)
+	}
+	fmt.Fprintln(out)
+
+	// Hosts, expanded exactly as the orchestrator numbers them.
+	id := 0
+	for _, hg := range t.Hosts {
+		groupName := hg.Name
+		if groupName == "" {
+			groupName = "host"
+		}
+		for k := 0; k < hg.Count; k++ {
+			label := fmt.Sprintf("{%s-%d|%d PCPUs, %s, slice %d", groupName, k, hg.PCPUs, hg.Scheduler.Name, hg.Timeslice)
+			slot := 0
+			for _, s := range hg.Slots {
+				for c := 0; c < s.Count; c++ {
+					state := "parked"
+					if s.Admitted {
+						state = "admitted"
+					}
+					label += fmt.Sprintf("|slot%d: %d VCPUs (%s)", slot, s.VCPUs, state)
+					slot++
+				}
+			}
+			if hg.Faults != nil {
+				label += fmt.Sprintf("|faults: %d specs", len(hg.Faults.Faults))
+			}
+			label += "}"
+			fill := "white"
+			if hg.Faults != nil {
+				fill = "mistyrose"
+			}
+			fmt.Fprintf(out, "  host%d [style=filled, fillcolor=%s, label=\"%s\"];\n", id, fill, label)
+			fmt.Fprintf(out, "  dispatcher -> host%d;\n", id)
+			id++
+		}
+	}
+
+	// Migration policy: dotted to every host it may drain or fill.
+	if m := t.Migration; m != nil {
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "  migration [style=filled, fillcolor=lightyellow, label=\"{Migration|every %g ticks|drain util \\> %g to util \\< %g|transfer delay %g}\"];\n",
+			m.CheckEvery, m.HighUtil, m.LowUtil, m.TransferDelay)
+		for h := 0; h < id; h++ {
+			fmt.Fprintf(out, "  migration -> host%d [style=dotted, dir=both];\n", h)
+		}
+	}
+	fmt.Fprintf(out, "}\n")
+}
+
+// runTopology implements `sanviz -topology t.json`.
+func runTopology(out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t, err := cluster.ParseTopology(f)
+	if err != nil {
+		return err
+	}
+	topologyDot(out, t)
+	return nil
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestClusterSubcommandSingle drives one replication of the demo
+// topology end to end through the CLI surface and checks the fleet
+// metrics, per-host dumps, and counter rollup all render.
+func TestClusterSubcommandSingle(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"cluster", "-topology", "testdata/topology.json", "-single", "-hosts", "-stats"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"demo-cluster", "4 hosts", "14 VCPUs provisioned",
+		"fleet/avail", "cluster/dispatches", "cluster/migrations",
+		"host 0:", "host 3:", "avail/vm0/vcpu0",
+		"engine counters (cluster):", "dispatches", "migrations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster -single output missing %q", want)
+		}
+	}
+}
+
+// TestClusterSubcommandReplicated runs the topology's CI-controlled
+// replications and checks the output is reproducible run to run.
+func TestClusterSubcommandReplicated(t *testing.T) {
+	runOnce := func() string {
+		var b strings.Builder
+		if err := run([]string{"cluster", "-topology", "testdata/topology.json"}, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := runOnce()
+	if !strings.Contains(first, "replications: 3 (converged: true") {
+		t.Errorf("unexpected replication summary:\n%s", first)
+	}
+	if second := runOnce(); second != first {
+		t.Errorf("replicated cluster run not reproducible:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+func TestClusterSubcommandFlagErrors(t *testing.T) {
+	if err := run([]string{"cluster"}, os.Stderr); err == nil {
+		t.Error("missing -topology accepted")
+	}
+	if err := run([]string{"cluster", "-topology", "testdata/nope.json"}, os.Stderr); err == nil {
+		t.Error("unreadable topology accepted")
+	}
+}

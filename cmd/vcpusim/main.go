@@ -12,6 +12,7 @@
 //	vcpusim experiments -figure 8 -quick -manifest out/
 //	vcpusim manifest -check out/manifest.json
 //	vcpusim trace -config experiment.json -out trace.json -probe series.csv
+//	vcpusim cluster -topology topology.json
 //
 // With -single, exactly one replication runs (point estimates, optional
 // event trace, Gantt rendering, and -stats engine-counter dump);
@@ -23,7 +24,9 @@
 // against the embedded schema, counter invariants, and probe series
 // hashes; the trace subcommand exports one replication's per-entity
 // scheduling timeline as Chrome trace-event JSON (Perfetto-loadable),
-// optionally with a deterministic time-series probe CSV.
+// optionally with a deterministic time-series probe CSV; the cluster
+// subcommand runs a multi-host topology under one global clock (see
+// internal/cluster).
 package main
 
 import (
@@ -65,6 +68,8 @@ func run(args []string, out io.Writer) (err error) {
 			return runManifest(args[1:], out)
 		case "trace":
 			return runTrace(args[1:], out)
+		case "cluster":
+			return runCluster(args[1:], out)
 		}
 	}
 	fs := flag.NewFlagSet("vcpusim", flag.ContinueOnError)

@@ -1,0 +1,737 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"vcpusim/internal/core"
+	"vcpusim/internal/obs"
+	"vcpusim/internal/san"
+	"vcpusim/internal/sim"
+)
+
+// hostSeedMix spreads one replication seed across hosts (splitmix64's
+// golden-ratio increment). Host 0's seed is the replication seed itself,
+// so a 1-host cluster replays the single-host executive bit for bit.
+const hostSeedMix = 0x9E3779B97F4A7C15
+
+func hostSeed(seed uint64, h int) uint64 { return seed ^ uint64(h)*hostSeedMix }
+
+// slotPhase is the orchestrator-side occupancy of one VM slot.
+type slotPhase uint8
+
+const (
+	slotParked   slotPhase = iota // free capacity, generator disabled
+	slotAdmitted                  // resident VM, running
+	slotDraining                  // migrating away: generator off, running dry
+	slotReserved                  // target of an in-flight migration
+)
+
+// slotState is the orchestrator's bookkeeping for one VM slot of one
+// host. vcpus is static; the rest resets every replication.
+type slotState struct {
+	vcpus      int
+	startsUp   bool // admitted at t=0 per the topology
+	phase      slotPhase
+	drainStart float64
+	// tgtHost/tgtSlot name the reserved migration target while draining.
+	tgtHost, tgtSlot int
+}
+
+// hostShard is one host: a compiled system, its pooled instance, and the
+// orchestrator's slot bookkeeping.
+type hostShard struct {
+	id     int
+	name   string
+	worker *core.Worker
+	sys    *core.System
+	inst   *san.Instance
+	slots  []slotState
+	// genEnabled mirrors the instance's persisted SetActivityEnabled
+	// state per slot, so replication setup only flips transitions — a
+	// host whose slots are all admitted from t=0 never touches the
+	// disable surface and replays the single-host executive exactly.
+	genEnabled []bool
+}
+
+// fits returns the best free slot for a VM of the given width (narrowest
+// sufficient slot, lowest index on ties), or -1.
+func (h *hostShard) fits(vcpus int) int {
+	best := -1
+	for i := range h.slots {
+		s := &h.slots[i]
+		if s.phase != slotParked || s.vcpus < vcpus {
+			continue
+		}
+		if best < 0 || s.vcpus < h.slots[best].vcpus {
+			best = i
+		}
+	}
+	return best
+}
+
+// admittedVCPUs is the width committed to this host: resident VMs plus
+// draining ones (still consuming) plus reserved inbound capacity.
+func (h *hostShard) admittedVCPUs() int {
+	n := 0
+	for i := range h.slots {
+		if h.slots[i].phase != slotParked {
+			n += h.slots[i].vcpus
+		}
+	}
+	return n
+}
+
+// Cluster event kinds, in deterministic total order (time, seq) — and
+// always ahead of host events at equal times (a cluster event at t
+// observes the state before any host processes its own event at t).
+const (
+	evArrival = iota
+	evCheck
+	evAdmit
+)
+
+type clusterEvent struct {
+	time float64
+	seq  int
+	kind int
+	// evArrival
+	count, vcpus int
+	// evAdmit
+	host, slot int
+	srcHost    int
+	drainStart float64
+}
+
+// eventHeap is a min-heap over (time, seq).
+type eventHeap []clusterEvent
+
+func (h *eventHeap) push(ev clusterEvent) {
+	*h = append(*h, ev)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() clusterEvent {
+	top := (*h)[0]
+	n := len(*h) - 1
+	(*h)[0] = (*h)[n]
+	*h = (*h)[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.less(l, m) {
+			m = l
+		}
+		if r < n && h.less(r, m) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+	return top
+}
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+// queuedVM is a VM awaiting placement (no host fits it yet).
+type queuedVM struct {
+	vcpus   int
+	arrived float64
+}
+
+// Orchestrator runs a topology's hosts under one global clock. It is the
+// cluster counterpart of core.Worker: built once per worker slot
+// (compiling every host shard), then driven for any number of
+// replications, each a pure function of its seed. Not goroutine-safe —
+// sim.RunPooled gives each worker goroutine its own Orchestrator.
+type Orchestrator struct {
+	topo   *Topology
+	policy PlacementPolicy
+	hosts  []*hostShard
+
+	// hheap is an index min-heap over the hosts' next-event times, with
+	// host ID breaking ties — the global total order (time, hostID).
+	hheap []int
+	hpos  []int // hpos[host] = position in hheap
+
+	events eventHeap
+	seq    int
+	queue  []queuedVM
+	loads  []HostLoad
+
+	// Per-replication cluster rewards.
+	dispatches, migrations int
+	downtime               float64
+	placeWaitSum           float64
+	placed                 int
+
+	// lastHost holds each host's metric map from the latest replication
+	// (the degenerate-case test reads host 0's raw map).
+	lastHost []map[string]float64
+
+	sink obs.Sink
+
+	ctxCheck int
+}
+
+// Cluster-level metric names. Per-host metrics are hostMetric(h, base)
+// = "host<h>/<base>".
+const (
+	FleetAvailMetric   = "fleet/avail"
+	FleetVUtilMetric   = "fleet/vutil"
+	FleetPUtilMetric   = "fleet/putil"
+	DispatchesMetric   = "cluster/dispatches"
+	MigrationsMetric   = "cluster/migrations"
+	DowntimeMetric     = "cluster/downtime"
+	PlaceWaitMetric    = "cluster/place_wait"
+	QueuedAtEndMetric  = "cluster/queued"
+	AdmittedVCPUMetric = "cluster/admitted_vcpus"
+)
+
+// HostMetric names host h's copy of a fleet metric base, e.g.
+// HostMetric(3, "avail") == "host3/avail".
+func HostMetric(h int, base string) string { return fmt.Sprintf("host%d/%s", h, base) }
+
+// New compiles every host of the topology into its own shard. The
+// returned orchestrator runs any number of replications via Replicate.
+func New(topo *Topology) (*Orchestrator, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	policy, err := policyFor(topo.Placement)
+	if err != nil {
+		return nil, err
+	}
+	o := &Orchestrator{topo: topo, policy: policy}
+	for g, hg := range topo.Hosts {
+		cfg, err := hg.systemConfig(topo.Contract)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host group %d: %w", g, err)
+		}
+		factory, err := hg.schedulerFactory()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host group %d: %w", g, err)
+		}
+		groupName := hg.Name
+		if groupName == "" {
+			groupName = "host"
+		}
+		for k := 0; k < hg.Count; k++ {
+			w, err := core.NewWorker(cfg, factory)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: host %s-%d: %w", groupName, k, err)
+			}
+			h := &hostShard{
+				id:     len(o.hosts),
+				name:   fmt.Sprintf("%s-%d", groupName, k),
+				worker: w,
+				sys:    w.System(),
+				inst:   w.Instance(),
+			}
+			vm := 0
+			for _, slot := range hg.Slots {
+				for c := 0; c < slot.Count; c++ {
+					h.slots = append(h.slots, slotState{
+						vcpus:    h.sys.VMVCPUs(vm),
+						startsUp: slot.Admitted,
+					})
+					vm++
+				}
+			}
+			h.genEnabled = make([]bool, len(h.slots))
+			for i := range h.genEnabled {
+				h.genEnabled[i] = true // activities start enabled
+			}
+			o.hosts = append(o.hosts, h)
+		}
+	}
+	o.hheap = make([]int, 0, len(o.hosts))
+	o.hpos = make([]int, len(o.hosts))
+	o.loads = make([]HostLoad, len(o.hosts))
+	o.lastHost = make([]map[string]float64, len(o.hosts))
+	return o, nil
+}
+
+// SetSink installs a telemetry sink receiving cluster.dispatch and
+// cluster.migrate spans (plus each host's fault spans); nil removes it.
+func (o *Orchestrator) SetSink(s obs.Sink) {
+	o.sink = s
+	for _, h := range o.hosts {
+		h.worker.SetFaultSink(s)
+	}
+}
+
+// NumHosts returns the orchestrator's host count.
+func (o *Orchestrator) NumHosts() int { return len(o.hosts) }
+
+// Host returns host h's compiled worker for read-only instrumentation.
+func (o *Orchestrator) Host(h int) *core.Worker { return o.hosts[h].worker }
+
+// HostMetrics returns host h's raw metric map from the most recent
+// replication — exactly what the host's single-host executive would have
+// reported for the same trajectory.
+func (o *Orchestrator) HostMetrics(h int) map[string]float64 { return o.lastHost[h] }
+
+// LastStats sums the engine counters of the most recent replication
+// across all hosts and adds the orchestrator's own dispatch/migration
+// counts.
+func (o *Orchestrator) LastStats() obs.Counters {
+	var c obs.Counters
+	for _, h := range o.hosts {
+		st := h.worker.LastStats()
+		c.Events += st.EventsFired
+		c.Firings += st.TimedFirings + st.InstFirings
+		c.TimedFirings += st.TimedFirings
+		c.InstFirings += st.InstFirings
+		c.Aborts += st.Aborts
+		c.Scheduled += st.EventsScheduled
+		c.Cancelled += st.EventsCancelled
+		c.StabilizeIters += st.StabilizeIters
+		if st.MaxStabilizeDepth > c.MaxStabilizeDepth {
+			c.MaxStabilizeDepth = st.MaxStabilizeDepth
+		}
+		c.WallNS += int64(st.WallTime)
+	}
+	c.Dispatches = uint64(o.dispatches)
+	c.Migrations = uint64(o.migrations)
+	return c
+}
+
+// arm prepares every host for one replication: reseed and reset the
+// shard, re-establish slot admission (parked flags and generator
+// enables persist across resets, so only transitions are flipped), and
+// begin the run.
+func (o *Orchestrator) arm(seed uint64) error {
+	for _, h := range o.hosts {
+		if err := h.worker.Arm(hostSeed(seed, h.id)); err != nil {
+			return fmt.Errorf("cluster: host %s: %w", h.name, err)
+		}
+		for i := range h.slots {
+			s := &h.slots[i]
+			s.phase = slotParked
+			if s.startsUp {
+				s.phase = slotAdmitted
+			}
+			s.drainStart = 0
+			admitted := s.phase == slotAdmitted
+			if err := h.sys.SetVMParked(i, !admitted); err != nil {
+				return err
+			}
+			if h.genEnabled[i] != admitted {
+				if err := h.inst.SetActivityEnabled(h.sys.GenerateActivityName(i), admitted); err != nil {
+					return fmt.Errorf("cluster: host %s: %w", h.name, err)
+				}
+				h.genEnabled[i] = admitted
+			}
+		}
+		if err := h.inst.BeginRun(o.topo.Warmup, o.topo.Horizon); err != nil {
+			return fmt.Errorf("cluster: host %s: %w", h.name, err)
+		}
+	}
+	return nil
+}
+
+// seed the cluster event queue for one replication.
+func (o *Orchestrator) seedEvents() {
+	o.events = o.events[:0]
+	o.seq = 0
+	o.queue = o.queue[:0]
+	o.dispatches, o.migrations = 0, 0
+	o.downtime, o.placeWaitSum = 0, 0
+	o.placed = 0
+	for _, a := range o.topo.Arrivals {
+		o.push(clusterEvent{time: a.At, kind: evArrival, count: a.Count, vcpus: a.VCPUs})
+	}
+	if m := o.topo.Migration; m != nil && m.CheckEvery < o.topo.Horizon {
+		o.push(clusterEvent{time: m.CheckEvery, kind: evCheck})
+	}
+}
+
+func (o *Orchestrator) push(ev clusterEvent) {
+	ev.seq = o.seq
+	o.seq++
+	o.events.push(ev)
+}
+
+// Host-heap operations: an index min-heap keyed lazily by each host's
+// PeekNextEventTime, host ID breaking ties. Keys change only when a host
+// processes an event or runs an Exec, and the caller re-fixes exactly
+// that host, so the lazy keys are always coherent.
+func (o *Orchestrator) hkey(h int) float64 { return o.hosts[h].inst.PeekNextEventTime() }
+
+func (o *Orchestrator) hless(a, b int) bool {
+	ta, tb := o.hkey(a), o.hkey(b)
+	if ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
+func (o *Orchestrator) hswap(i, j int) {
+	o.hheap[i], o.hheap[j] = o.hheap[j], o.hheap[i]
+	o.hpos[o.hheap[i]] = i
+	o.hpos[o.hheap[j]] = j
+}
+
+func (o *Orchestrator) hup(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !o.hless(o.hheap[i], o.hheap[p]) {
+			break
+		}
+		o.hswap(i, p)
+		i = p
+	}
+}
+
+func (o *Orchestrator) hdown(i int) {
+	n := len(o.hheap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && o.hless(o.hheap[l], o.hheap[m]) {
+			m = l
+		}
+		if r < n && o.hless(o.hheap[r], o.hheap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		o.hswap(i, m)
+		i = m
+	}
+}
+
+// hfix restores the heap after host h's key changed.
+func (o *Orchestrator) hfix(h int) {
+	i := o.hpos[h]
+	o.hup(i)
+	o.hdown(o.hpos[h])
+}
+
+// Replicate runs one cluster replication seeded with seed: all hosts and
+// the cluster event queue advance in one global total order — ties at
+// equal virtual time go cluster events first (seq order), then hosts by
+// ID — and the result is the fleet metric map. Same seed, same topology:
+// same map, bit for bit, at any parallelism.
+func (o *Orchestrator) Replicate(ctx context.Context, seed uint64) (map[string]float64, error) {
+	if err := o.arm(seed); err != nil {
+		return nil, err
+	}
+	o.seedEvents()
+	o.hheap = o.hheap[:0]
+	for i := range o.hosts {
+		o.hheap = append(o.hheap, i)
+		o.hpos[i] = i
+	}
+	for i := len(o.hosts)/2 - 1; i >= 0; i-- {
+		o.hdown(i)
+	}
+
+	horizon := o.topo.Horizon
+	o.ctxCheck = 0
+	for {
+		ct := math.Inf(1)
+		if len(o.events) > 0 {
+			ct = o.events[0].time
+		}
+		ht := math.Inf(1)
+		if len(o.hheap) > 0 {
+			ht = o.hkey(o.hheap[0])
+		}
+		if ct >= horizon && ht >= horizon {
+			break
+		}
+		if ct <= ht {
+			ev := o.events.pop()
+			if err := o.handle(ev); err != nil {
+				return nil, err
+			}
+		} else {
+			h := o.hheap[0]
+			if err := o.hosts[h].inst.ProcessNextEvent(); err != nil {
+				return nil, fmt.Errorf("cluster: host %s: %w", o.hosts[h].name, err)
+			}
+			o.hfix(h)
+		}
+		if o.ctxCheck++; o.ctxCheck >= 8192 {
+			o.ctxCheck = 0
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("cluster: replication cancelled: %w", err)
+			}
+		}
+	}
+	return o.collect()
+}
+
+// handle executes one cluster event and then retries the placement
+// queue (capacity may have freed).
+func (o *Orchestrator) handle(ev clusterEvent) error {
+	switch ev.kind {
+	case evArrival:
+		for i := 0; i < ev.count; i++ {
+			if !o.place(ev.vcpus, ev.time, ev.time) {
+				o.queue = append(o.queue, queuedVM{vcpus: ev.vcpus, arrived: ev.time})
+			}
+		}
+	case evCheck:
+		if err := o.migrationCheck(ev.time); err != nil {
+			return err
+		}
+	case evAdmit:
+		h := o.hosts[ev.host]
+		if err := o.admit(h, ev.slot); err != nil {
+			return err
+		}
+		o.migrations++
+		o.downtime += ev.time - ev.drainStart
+		if o.sink != nil {
+			o.sink.Emit(obs.Event{Kind: obs.KindMigrate, Attrs: map[string]any{
+				"t": ev.time, "from": o.hosts[ev.srcHost].name, "to": h.name,
+				"vcpus": h.slots[ev.slot].vcpus, "downtime": ev.time - ev.drainStart,
+			}})
+		}
+	}
+	// FIFO retry: only the head may jump the queue.
+	for len(o.queue) > 0 {
+		q := o.queue[0]
+		if !o.place(q.vcpus, ev.time, q.arrived) {
+			break
+		}
+		o.queue = o.queue[1:]
+	}
+	return nil
+}
+
+// snapshotLoads fills the policy's per-host view.
+func (o *Orchestrator) snapshotLoads(vcpus int) []HostLoad {
+	for i, h := range o.hosts {
+		o.loads[i] = HostLoad{
+			ID:            h.id,
+			PCPUs:         h.sys.NumPCPUs(),
+			AdmittedVCPUs: h.admittedVCPUs(),
+			Fits:          h.fits(vcpus) >= 0,
+		}
+	}
+	return o.loads
+}
+
+// place routes one VM through the placement policy; false means no host
+// fits and the VM must queue.
+func (o *Orchestrator) place(vcpus int, now, arrived float64) bool {
+	hid := o.policy.Place(vcpus, o.snapshotLoads(vcpus))
+	if hid < 0 {
+		return false
+	}
+	h := o.hosts[hid]
+	slot := h.fits(vcpus)
+	if slot < 0 {
+		// The policy picked a host that does not fit; treat as queued
+		// rather than crash — a policy bug must not kill the replication.
+		return false
+	}
+	if err := o.admit(h, slot); err != nil {
+		return false
+	}
+	o.dispatches++
+	o.placed++
+	o.placeWaitSum += now - arrived
+	if o.sink != nil {
+		o.sink.Emit(obs.Event{Kind: obs.KindDispatch, Attrs: map[string]any{
+			"t": now, "host": h.name, "vcpus": vcpus, "wait": now - arrived,
+		}})
+	}
+	return true
+}
+
+// admit makes slot resident on host h: unpark it in the scheduler's view
+// and re-enable its workload generator. Both are non-marking state, so
+// admission needs no model event — the VM starts at the host's next
+// scheduler tick.
+func (o *Orchestrator) admit(h *hostShard, slot int) error {
+	if err := h.sys.SetVMParked(slot, false); err != nil {
+		return err
+	}
+	if !h.genEnabled[slot] {
+		if err := h.inst.SetActivityEnabled(h.sys.GenerateActivityName(slot), true); err != nil {
+			return err
+		}
+		h.genEnabled[slot] = true
+	}
+	h.slots[slot].phase = slotAdmitted
+	return nil
+}
+
+// migrationCheck is one threshold scan at virtual time t: finish any
+// drained migrations (evict at t, re-admit after the transfer delay),
+// then start new drains on overloaded hosts, then schedule the next
+// check.
+func (o *Orchestrator) migrationCheck(t float64) error {
+	m := o.topo.Migration
+	// Phase 1: complete drains whose VM has run dry. Eviction mutates the
+	// marking, so it runs inside Exec at a stable marking.
+	for _, h := range o.hosts {
+		for i := range h.slots {
+			s := &h.slots[i]
+			if s.phase != slotDraining || !h.sys.VMDrained(i) {
+				continue
+			}
+			slot := i
+			err := h.inst.Exec(t, func() {
+				h.sys.EvictVM(slot)
+				h.sys.SetVMParked(slot, true)
+			})
+			o.hfix(h.id)
+			if err != nil {
+				return fmt.Errorf("cluster: host %s: evicting slot %d: %w", h.name, slot, err)
+			}
+			s.phase = slotParked
+			o.push(clusterEvent{
+				time: t + m.TransferDelay, kind: evAdmit,
+				host: s.tgtHost, slot: s.tgtSlot, srcHost: h.id, drainStart: s.drainStart,
+			})
+		}
+	}
+	// Phase 2: start new drains. Hosts scan in ID order; one migration
+	// initiation per overloaded host per check.
+	for _, src := range o.hosts {
+		util := float64(src.sys.AssignedPCPUs()) / float64(src.sys.NumPCPUs())
+		if util <= m.HighUtil {
+			continue
+		}
+		slot := -1
+		for i := range src.slots {
+			if src.slots[i].phase == slotAdmitted {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			continue
+		}
+		tgt, tgtSlot := o.pickTarget(src.id, src.slots[slot].vcpus)
+		if tgt < 0 {
+			continue
+		}
+		// Begin drain: stop generating on the source slot (non-marking)
+		// and reserve the target slot so nothing else books it.
+		if src.genEnabled[slot] {
+			if err := src.inst.SetActivityEnabled(src.sys.GenerateActivityName(slot), false); err != nil {
+				return err
+			}
+			src.genEnabled[slot] = false
+		}
+		src.slots[slot].phase = slotDraining
+		src.slots[slot].drainStart = t
+		src.slots[slot].tgtHost = tgt
+		src.slots[slot].tgtSlot = tgtSlot
+		o.hosts[tgt].slots[tgtSlot].phase = slotReserved
+	}
+	if next := t + m.CheckEvery; next < o.topo.Horizon {
+		o.push(clusterEvent{time: next, kind: evCheck})
+	}
+	return nil
+}
+
+// pickTarget chooses the migration target: among hosts below the low
+// threshold that fit the width, the one with the lowest observed
+// assignment fraction, lowest ID on ties. Returns (-1, -1) when no host
+// qualifies.
+func (o *Orchestrator) pickTarget(src, vcpus int) (int, int) {
+	m := o.topo.Migration
+	best, bestSlot, bestUtil := -1, -1, 0.0
+	for _, h := range o.hosts {
+		if h.id == src {
+			continue
+		}
+		util := float64(h.sys.AssignedPCPUs()) / float64(h.sys.NumPCPUs())
+		if util >= m.LowUtil {
+			continue
+		}
+		slot := h.fits(vcpus)
+		if slot < 0 {
+			continue
+		}
+		if best < 0 || util < bestUtil {
+			best, bestSlot, bestUtil = h.id, slot, util
+		}
+	}
+	return best, bestSlot
+}
+
+// collect ends every host's run and aggregates the fleet metric map.
+func (o *Orchestrator) collect() (map[string]float64, error) {
+	n := float64(len(o.hosts))
+	out := make(map[string]float64, 16)
+	var avail, vutil, putil float64
+	admitted := 0
+	for _, h := range o.hosts {
+		m, err := h.worker.Collect()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %s: %w", h.name, err)
+		}
+		o.lastHost[h.id] = m
+		avail += m[core.AvailabilityAvgMetric]
+		vutil += m[core.VCPUUtilizationAvgMetric]
+		putil += m[core.PCPUUtilizationAvgMetric]
+		admitted += h.admittedVCPUs()
+	}
+	out[FleetAvailMetric] = avail / n
+	out[FleetVUtilMetric] = vutil / n
+	out[FleetPUtilMetric] = putil / n
+	out[DispatchesMetric] = float64(o.dispatches)
+	out[MigrationsMetric] = float64(o.migrations)
+	out[DowntimeMetric] = o.downtime
+	if o.placed > 0 {
+		out[PlaceWaitMetric] = o.placeWaitSum / float64(o.placed)
+	} else {
+		out[PlaceWaitMetric] = 0
+	}
+	out[QueuedAtEndMetric] = float64(len(o.queue))
+	out[AdmittedVCPUMetric] = float64(admitted)
+	return out, nil
+}
+
+// ReplicatorFactory adapts the topology to the sim package's pooled
+// replication machinery: each worker slot compiles its own orchestrator
+// once and reuses it across the replications that slot runs. Results are
+// byte-identical at any parallelism — each replication is a pure
+// function of its seed.
+func (t *Topology) ReplicatorFactory(sink obs.Sink, acc *obs.Accumulator) sim.ReplicatorFactory {
+	return func() (sim.Replicator, error) {
+		o, err := New(t)
+		if err != nil {
+			return nil, err
+		}
+		o.SetSink(sink)
+		return func(ctx context.Context, rep int, seed uint64) (map[string]float64, error) {
+			out, err := o.Replicate(ctx, seed)
+			if err != nil {
+				return nil, err
+			}
+			if acc != nil {
+				acc.Add(o.LastStats())
+			}
+			return out, nil
+		}, nil
+	}
+}

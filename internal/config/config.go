@@ -197,28 +197,39 @@ func Parse(r io.Reader) (*Experiment, error) {
 	return &e, nil
 }
 
+// VMConfig builds the core configuration of one VM — the per-VM half of
+// Experiment.SystemConfig, exported so cluster topologies reuse the same
+// VM JSON schema for their per-host slot definitions.
+func (v VM) VMConfig() (core.VMConfig, error) {
+	dist, err := v.Load.Build()
+	if err != nil {
+		return core.VMConfig{}, err
+	}
+	kind, err := v.syncKind()
+	if err != nil {
+		return core.VMConfig{}, err
+	}
+	return core.VMConfig{
+		Name:  v.Name,
+		VCPUs: v.VCPUs,
+		Workload: workload.Spec{
+			Load:              dist,
+			SyncEveryN:        v.SyncEveryN,
+			SyncProbabilistic: v.SyncProbabilistic,
+			SyncKind:          kind,
+		},
+	}, nil
+}
+
 // SystemConfig builds the core configuration.
 func (e *Experiment) SystemConfig() (core.SystemConfig, error) {
 	cfg := core.SystemConfig{PCPUs: e.PCPUs, Timeslice: e.Timeslice, Faults: e.Faults, Contract: e.Contract}
 	for i, vm := range e.VMs {
-		dist, err := vm.Load.Build()
+		vmCfg, err := vm.VMConfig()
 		if err != nil {
 			return core.SystemConfig{}, fmt.Errorf("config: VM %d: %w", i, err)
 		}
-		kind, err := vm.syncKind()
-		if err != nil {
-			return core.SystemConfig{}, fmt.Errorf("config: VM %d: %w", i, err)
-		}
-		cfg.VMs = append(cfg.VMs, core.VMConfig{
-			Name:  vm.Name,
-			VCPUs: vm.VCPUs,
-			Workload: workload.Spec{
-				Load:              dist,
-				SyncEveryN:        vm.SyncEveryN,
-				SyncProbabilistic: vm.SyncProbabilistic,
-				SyncKind:          kind,
-			},
-		})
+		cfg.VMs = append(cfg.VMs, vmCfg)
 	}
 	if err := cfg.Validate(); err != nil {
 		return core.SystemConfig{}, err

@@ -174,6 +174,13 @@ type System struct {
 	pviewBuf   []PCPUView
 	pendingOut []bool
 	acts       Actions
+
+	// parked, when non-nil, marks VMs not admitted on this host (cluster
+	// orchestration): their VCPUs appear Parked in scheduler views. nil
+	// on single-host systems, so the hot path pays one nil test. Like
+	// SetActivityEnabled it persists across Reseed — the orchestrator
+	// re-establishes admission state at the start of each replication.
+	parked []bool
 }
 
 // Model returns the composed SAN model.
@@ -604,6 +611,9 @@ func (sys *System) schedulerStep(timestamp *san.ExtPlace[int64]) {
 		status := s.Status
 		if pendingOut[vc.id] {
 			status = Inactive
+		}
+		if sys.parked != nil && sys.parked[vc.vm] {
+			status = Parked
 		}
 		// Field writes through a pointer: assigning a composite literal
 		// builds the struct in a temporary and block-copies it into the

@@ -125,14 +125,15 @@ func TestStatusStrings(t *testing.T) {
 		Inactive:  "INACTIVE",
 		Ready:     "READY",
 		Busy:      "BUSY",
-		Status(0): "Status(0)",
+		Parked:    "PARKED",
+		Status(9): "Status(9)",
 	}
 	for s, want := range cases {
 		if got := s.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
 		}
 	}
-	if Inactive.Active() || !Ready.Active() || !Busy.Active() {
+	if Inactive.Active() || !Ready.Active() || !Busy.Active() || Parked.Active() {
 		t.Error("Active() wrong")
 	}
 }

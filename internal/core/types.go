@@ -32,9 +32,20 @@ const (
 	Busy                       // assigned a PCPU, processing a workload
 )
 
+// Parked marks a VCPU whose VM is not admitted on this host (cluster
+// orchestration: the slot is provisioned capacity awaiting a dispatch or
+// the target of an in-flight migration). Parked is the Status zero value,
+// outside the paper's state machine: it is not Active, and schedulers —
+// which admit on Status == Inactive — never assign a parked VCPU. It
+// appears only in scheduler views; the underlying slot marking stays
+// Inactive so admission needs no marking mutation.
+const Parked Status = 0
+
 // String returns the paper's name for the status.
 func (s Status) String() string {
 	switch s {
+	case Parked:
+		return "PARKED"
 	case Inactive:
 		return "INACTIVE"
 	case Ready:

@@ -96,15 +96,45 @@ func (w *Worker) SetFaultSink(s obs.Sink) {
 // pooled equivalent of RunReplicationIntervalContext with the same
 // arguments, bit for bit.
 func (w *Worker) RunIntervalContext(ctx context.Context, warmup, horizon float64, seed uint64) (map[string]float64, error) {
-	w.src.Reseed(seed)
-	if err := w.sys.Reseed(w.factory(), w.src); err != nil {
+	if err := w.Arm(seed); err != nil {
 		return nil, err
 	}
-	w.inst.Reset(w.src.Uint64())
 	res, err := w.inst.RunIntervalContext(ctx, warmup, horizon)
 	if err != nil {
 		return nil, err
 	}
+	return w.assemble(res), nil
+}
+
+// Arm prepares the worker for one replication seeded with seed — the
+// reseed-and-reset half of RunIntervalContext, bit for bit — without
+// running it. An external driver (the cluster orchestrator) then starts
+// the run itself via Instance().BeginRun, steps events through the step
+// primitives, and finishes with Collect.
+func (w *Worker) Arm(seed uint64) error {
+	w.src.Reseed(seed)
+	if err := w.sys.Reseed(w.factory(), w.src); err != nil {
+		return err
+	}
+	w.inst.Reset(w.src.Uint64())
+	return nil
+}
+
+// Collect finishes an externally driven replication: it ends the run
+// started on the worker's instance and assembles the same metric map
+// RunIntervalContext produces, including derived fault metrics and
+// histogram quantiles.
+func (w *Worker) Collect() (map[string]float64, error) {
+	res, err := w.inst.EndRun()
+	if err != nil {
+		return nil, err
+	}
+	return w.assemble(res), nil
+}
+
+// assemble folds one replication's Results into the flat metric map all
+// run paths share.
+func (w *Worker) assemble(res san.Results) map[string]float64 {
 	out := make(map[string]float64, len(res.Rates)+len(res.Impulses))
 	maps.Copy(out, res.Rates)
 	maps.Copy(out, res.Impulses)
@@ -114,7 +144,7 @@ func (w *Worker) RunIntervalContext(ctx context.Context, warmup, horizon float64
 	if w.sys.hist != nil {
 		addHistMetrics(out, w.sys.hist)
 	}
-	return out, nil
+	return out
 }
 
 // deriveFaultMetrics folds per-spec fault impulses into campaign totals

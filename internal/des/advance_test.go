@@ -1,0 +1,42 @@
+package des
+
+import (
+	"errors"
+	"testing"
+)
+
+// AdvanceTo lets an external driver move the clock between events — it
+// must refuse to travel backwards or to step over a pending occurrence.
+func TestAdvanceTo(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	if _, err := k.Schedule(5, 0, "e", func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AdvanceTo(3); err != nil {
+		t.Fatalf("AdvanceTo(3): %v", err)
+	}
+	if k.Now() != 3 {
+		t.Fatalf("now = %g, want 3", k.Now())
+	}
+	// Backwards is refused with ErrPast.
+	if err := k.AdvanceTo(2); !errors.Is(err, ErrPast) {
+		t.Fatalf("AdvanceTo(2) = %v, want ErrPast", err)
+	}
+	// Stepping over the event at t=5 is refused.
+	if err := k.AdvanceTo(6); err == nil {
+		t.Fatal("AdvanceTo(6) past pending event succeeded")
+	}
+	// Advancing exactly onto the event time is allowed; the event still
+	// fires through Step.
+	if err := k.AdvanceTo(5); err != nil {
+		t.Fatalf("AdvanceTo(5): %v", err)
+	}
+	if !k.Step() || !fired {
+		t.Fatal("event at t=5 did not fire after AdvanceTo(5)")
+	}
+	// With an empty list NextTime is +Inf, so any forward advance works.
+	if err := k.AdvanceTo(100); err != nil {
+		t.Fatalf("AdvanceTo(100) on empty list: %v", err)
+	}
+}

@@ -250,6 +250,22 @@ func (k *Kernel) Cancel(ev *Event) {
 // Halt stops the run loop after the current event completes.
 func (k *Kernel) Halt() { k.halted = true }
 
+// AdvanceTo moves the clock forward to t without firing anything, for
+// drivers that interleave externally timed work (a cluster orchestrator's
+// dispatch or migration events) between this kernel's own events. The
+// clock may only move forward, and never past the next pending event —
+// stepping over a scheduled occurrence would fire it in the past.
+func (k *Kernel) AdvanceTo(t float64) error {
+	if t < k.now {
+		return fmt.Errorf("%w: advance to %g < now %g", ErrPast, t, k.now)
+	}
+	if next := k.NextTime(); t > next {
+		return fmt.Errorf("des: advance to %g would step over the pending event at %g", t, next)
+	}
+	k.now = t
+	return nil
+}
+
 // Step fires the next event, advancing the clock to its time. It returns
 // false when no events remain.
 func (k *Kernel) Step() bool {

@@ -29,7 +29,7 @@ import (
 func Run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "all", "which experiment: 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, faults, or all")
+		figure   = fs.String("figure", "all", "which experiment: 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, faults, cluster, or all")
 		engine   = fs.String("engine", "fast", `simulation engine: "fast" or "san"`)
 		contract = fs.Int("contract", 1, "determinism contract version for the SAN engine: 1 (byte-frozen original) or 2 (ziggurat + calendar queue)")
 		seed     = fs.Uint64("seed", 1, "experiment seed")
@@ -142,6 +142,7 @@ func Run(args []string, out io.Writer) (err error) {
 		{"hybrid", func() ([]*report.Table, error) { return one(experiments.HybridAblation(ctx, p)) }},
 		{"engines", func() ([]*report.Table, error) { return one(experiments.EngineComparison(ctx, p, 3)) }},
 		{"faults", func() ([]*report.Table, error) { return one(experiments.FigureFaults(ctx, p)) }},
+		{"cluster", func() ([]*report.Table, error) { return one(experiments.FigureCluster(ctx, p)) }},
 	}
 
 	start := obs.Clock()
@@ -180,7 +181,7 @@ func Run(args []string, out io.Writer) (err error) {
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q (use 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, faults, or all)", *figure)
+		return fmt.Errorf("unknown figure %q (use 8, 9, 10, timeslice, skew, balance, lock, hybrid, engines, faults, cluster, or all)", *figure)
 	}
 
 	if spansFile != nil {

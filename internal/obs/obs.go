@@ -29,6 +29,9 @@ import (
 //     half-widths at this stopping-rule check; non-finite widths omitted).
 //   - fault.inject / fault.recover: Attrs carries the fault name, kind,
 //     and injection/recovery timestamp (see internal/faults).
+//   - cluster.dispatch / cluster.migrate: Attrs carries the orchestrator's
+//     placement or migration record — virtual time, VM size, and the
+//     host(s) involved (see internal/cluster).
 //   - trace.*:    Attrs carries the scheduling trace event (see the trace
 //     package's obs adapter).
 const (
@@ -38,6 +41,8 @@ const (
 	KindStop         = "sim.stop"
 	KindFaultInject  = "fault.inject"
 	KindFaultRecover = "fault.recover"
+	KindDispatch     = "cluster.dispatch"
+	KindMigrate      = "cluster.migrate"
 )
 
 // Event is one structured telemetry event. Fields are a union across the
@@ -150,6 +155,11 @@ type Counters struct {
 	// no fault plan is configured.
 	FaultInjects  uint64 `json:"fault_injects,omitempty"`
 	FaultRecovers uint64 `json:"fault_recovers,omitempty"`
+	// Dispatches / Migrations count the cluster orchestrator's VM
+	// placements and completed migrations (internal/cluster); zero on
+	// single-host runs.
+	Dispatches uint64 `json:"dispatches,omitempty"`
+	Migrations uint64 `json:"migrations,omitempty"`
 	// WallNS is measured wall time; EventsPerSec is Events over WallNS.
 	WallNS       int64   `json:"wall_ns,omitempty"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
@@ -172,6 +182,7 @@ type Accumulator struct {
 	scheduled, cancelled  atomic.Uint64
 	stabIters, maxStab    atomic.Uint64
 	faultInj, faultRec    atomic.Uint64
+	dispatches, migrates  atomic.Uint64
 	wallNS                atomic.Int64
 }
 
@@ -188,6 +199,8 @@ func (a *Accumulator) Add(c Counters) {
 	a.stabIters.Add(c.StabilizeIters)
 	a.faultInj.Add(c.FaultInjects)
 	a.faultRec.Add(c.FaultRecovers)
+	a.dispatches.Add(c.Dispatches)
+	a.migrates.Add(c.Migrations)
 	for {
 		cur := a.maxStab.Load()
 		if c.MaxStabilizeDepth <= cur || a.maxStab.CompareAndSwap(cur, c.MaxStabilizeDepth) {
@@ -214,6 +227,8 @@ func (a *Accumulator) Counters() Counters {
 		MaxStabilizeDepth: a.maxStab.Load(),
 		FaultInjects:      a.faultInj.Load(),
 		FaultRecovers:     a.faultRec.Load(),
+		Dispatches:        a.dispatches.Load(),
+		Migrations:        a.migrates.Load(),
 		WallNS:            a.wallNS.Load(),
 	}
 }

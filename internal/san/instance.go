@@ -133,8 +133,10 @@ type Instance struct {
 	rateDirty bitset
 
 	// Transient-removal state: rewards are measured over
-	// [warmup, horizon] only.
+	// [warmup, horizon] only. horizon is set by BeginRun and read by the
+	// step primitives (HasPendingEvents) and EndRun.
 	warmup       float64
+	horizon      float64
 	warmSnapped  bool
 	warmIntegral []float64
 	warmImpulses []float64
@@ -250,6 +252,7 @@ func (in *Instance) Reset(seed uint64) {
 		in.rateSt[i].val = 0
 	}
 	in.warmup = 0
+	in.horizon = 0
 	in.warmSnapped = false
 	for i := range in.warmIntegral {
 		in.warmIntegral[i] = 0
@@ -409,46 +412,21 @@ func (in *Instance) RunInterval(warmup, horizon float64) (Results, error) {
 
 // RunIntervalContext is RunInterval with cancellation: ctx is checked
 // periodically (every few thousand events) so cancelling an experiment
-// interrupts a long replication instead of waiting for the horizon.
+// interrupts a long replication instead of waiting for the horizon. It is
+// a thin loop over the step primitives — BeginRun, HasPendingEvents,
+// ProcessNextEvent, EndRun — and bit-identical to the pre-decomposition
+// monolithic loop.
 func (in *Instance) RunIntervalContext(ctx context.Context, warmup, horizon float64) (Results, error) {
-	if horizon <= 0 {
-		return Results{}, fmt.Errorf("san: non-positive horizon %g", horizon)
-	}
-	if warmup < 0 || warmup >= horizon {
-		return Results{}, fmt.Errorf("san: warmup %g outside [0, horizon %g)", warmup, horizon)
-	}
-	if !in.ready {
-		return Results{}, fmt.Errorf("san: instance already used or not reset (model %q would simulate from a stale marking; call Reset with a fresh seed before each replication)", in.prog.model.Name())
-	}
-	in.ready = false
-	in.warmup = warmup
-	in.warmSnapped = warmup == 0
 	if in.clock != nil {
 		start := in.clock()
 		defer func() { in.wallTime += in.clock() - start }()
 	}
-	// Initial stabilization and activation.
-	if err := in.stabilize(); err != nil {
+	if err := in.BeginRun(warmup, horizon); err != nil {
 		return Results{}, err
 	}
-	in.refresh()
-	in.observeRates()
-
-	// The measurement window is half-open: events scheduled at exactly the
-	// horizon do not fire (they would contribute zero measure to rate
-	// rewards but would skew impulse counts).
 	untilCtxCheck := ctxCheckInterval
-	for in.failed == nil {
-		next := in.kernel.NextTime()
-		if next >= horizon || math.IsInf(next, 1) {
-			break
-		}
-		if !in.warmSnapped && next >= in.warmup {
-			// Snapshot before the first in-window event fires, so its
-			// impulses and marking changes land inside the window.
-			in.snapshotWarmup()
-		}
-		in.kernel.Step()
+	for in.HasPendingEvents() {
+		in.ProcessNextEvent()
 		if untilCtxCheck--; untilCtxCheck <= 0 {
 			untilCtxCheck = ctxCheckInterval
 			if err := ctx.Err(); err != nil {
@@ -456,13 +434,117 @@ func (in *Instance) RunIntervalContext(ctx context.Context, warmup, horizon floa
 			}
 		}
 	}
+	return in.EndRun()
+}
+
+// BeginRun starts one replication measured over [warmup, horizon): it
+// validates the window, consumes the Reset arming, and performs the
+// initial stabilization, activation, and rate observation at t=0. After
+// BeginRun the caller drives the event loop itself through
+// HasPendingEvents / PeekNextEventTime / ProcessNextEvent (optionally
+// interleaving externally timed work via Exec) and finishes with EndRun.
+// The Run* methods are thin loops over exactly these primitives; an
+// external driver stepping every event produces bit-identical Results.
+func (in *Instance) BeginRun(warmup, horizon float64) error {
+	if horizon <= 0 {
+		return fmt.Errorf("san: non-positive horizon %g", horizon)
+	}
+	if warmup < 0 || warmup >= horizon {
+		return fmt.Errorf("san: warmup %g outside [0, horizon %g)", warmup, horizon)
+	}
+	if !in.ready {
+		return fmt.Errorf("san: instance already used or not reset (model %q would simulate from a stale marking; call Reset with a fresh seed before each replication)", in.prog.model.Name())
+	}
+	in.ready = false
+	in.warmup = warmup
+	in.horizon = horizon
+	in.warmSnapped = warmup == 0
+	// Initial stabilization and activation.
+	if err := in.stabilize(); err != nil {
+		return err
+	}
+	in.refresh()
+	in.observeRates()
+	return in.failed
+}
+
+// HasPendingEvents reports whether the run started by BeginRun has more
+// events to process: the replication has not failed and the earliest
+// pending event lies before the horizon. The measurement window is
+// half-open — events scheduled at exactly the horizon do not fire (they
+// would contribute zero measure to rate rewards but would skew impulse
+// counts) — and an empty event list answers false (NextTime is +Inf).
+func (in *Instance) HasPendingEvents() bool {
+	return in.failed == nil && in.kernel.NextTime() < in.horizon
+}
+
+// PeekNextEventTime returns the virtual time of the earliest pending
+// event without firing it, or +Inf when the event list is empty. A
+// multi-host orchestrator uses it to pick the globally earliest shard.
+func (in *Instance) PeekNextEventTime() float64 {
+	return in.kernel.NextTime()
+}
+
+// ProcessNextEvent fires the single earliest pending event, first taking
+// the warmup snapshot if that event crosses the measurement-window start.
+// It returns the replication's failure, if any (also surfaced by EndRun);
+// callers looping on HasPendingEvents may ignore the return. Calling it
+// when HasPendingEvents is false fires an event past the horizon and
+// corrupts the measurement window — external drivers must check first.
+func (in *Instance) ProcessNextEvent() error {
+	if !in.warmSnapped && in.kernel.NextTime() >= in.warmup {
+		// Snapshot before the first in-window event fires, so its
+		// impulses and marking changes land inside the window.
+		in.snapshotWarmup()
+	}
+	in.kernel.Step()
+	return in.failed
+}
+
+// Exec runs externally timed work against the model at virtual time t:
+// the clock advances to t (which must not step over a pending event —
+// drive those through ProcessNextEvent first), fn mutates the marking
+// with dirty tracking on, and the executive then re-stabilizes,
+// reconciles timed activations, and observes rate rewards — exactly the
+// sequence a timed completion at t performs. It is the cluster
+// orchestrator's injection point for dispatch and migration events. fn
+// must leave the marking valid; errors it records fail the replication.
+func (in *Instance) Exec(t float64, fn func()) error {
+	if in.failed != nil {
+		return in.failed
+	}
+	if !in.warmSnapped && t >= in.warmup {
+		in.snapshotWarmup()
+	}
+	if err := in.kernel.AdvanceTo(t); err != nil {
+		in.fail(err)
+		return in.failed
+	}
+	in.tracking = true
+	fn()
+	in.tracking = false
+	if in.failed != nil {
+		return in.failed
+	}
+	if err := in.stabilize(); err != nil {
+		return err
+	}
+	in.refresh()
+	in.observeRates()
+	return in.failed
+}
+
+// EndRun finishes the replication started by BeginRun and returns the
+// rewards measured over [warmup, horizon): any execution failure or
+// recorded model error surfaces here, rate rewards are time-averaged
+// over the window, and impulse rewards count completions inside it.
+func (in *Instance) EndRun() (Results, error) {
 	if in.failed != nil {
 		return Results{}, in.failed
 	}
 	if err := in.prog.model.Err(); err != nil {
 		return Results{}, in.withFlight(fmt.Errorf("san: model error during run: %w", err))
 	}
-
 	if !in.warmSnapped {
 		// The run ended before any event crossed the warmup point; the
 		// signal was constant since the last observation, so snapshot now.
@@ -470,16 +552,16 @@ func (in *Instance) RunIntervalContext(ctx context.Context, warmup, horizon floa
 	}
 	m := in.prog.model
 	res := Results{
-		Warmup:   warmup,
-		Horizon:  horizon,
+		Warmup:   in.warmup,
+		Horizon:  in.horizon,
 		Rates:    make(map[string]float64, len(m.rates)),
 		Impulses: make(map[string]float64, len(m.impulses)),
 		Events:   in.kernel.Fired(),
 		Firings:  in.firings,
 	}
-	window := horizon - warmup
+	window := in.horizon - in.warmup
 	for i, rr := range m.rates {
-		res.Rates[rr.Name] = (in.rateSt[i].tw.IntegralAt(horizon) - in.warmIntegral[i]) / window
+		res.Rates[rr.Name] = (in.rateSt[i].tw.IntegralAt(in.horizon) - in.warmIntegral[i]) / window
 	}
 	for i, ir := range m.impulses {
 		res.Impulses[ir.Name] = in.impulses[i] - in.warmImpulses[i]
